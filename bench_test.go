@@ -1,0 +1,219 @@
+// The benchmarks below regenerate every table and figure of the paper as Go
+// benchmarks: one testing.B benchmark per experiment (quick-sized
+// workloads), plus the design-choice ablations DESIGN.md calls out.
+//
+// The interesting output is the custom metrics: simulated seconds, MB/s,
+// and speedups, reported per benchmark via b.ReportMetric. Run with
+//
+//	go test -bench=. -benchmem
+package dualpar
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"dualpar/internal/cluster"
+	"dualpar/internal/core"
+	"dualpar/internal/harness"
+	"dualpar/internal/workloads"
+)
+
+func opts() harness.Opts { return harness.Opts{Quick: true} }
+
+// reportFirstRow publishes a result's first data row as benchmark metrics.
+func reportCell(b *testing.B, res *harness.Result, row, col int, unit string) {
+	b.Helper()
+	if row >= len(res.Table.Rows) || col >= len(res.Table.Rows[row]) {
+		b.Fatalf("%s: missing cell (%d,%d)", res.ID, row, col)
+	}
+	v, err := strconv.ParseFloat(res.Table.Rows[row][col], 64)
+	if err != nil {
+		return // non-numeric cell (labels)
+	}
+	b.ReportMetric(v, unit)
+}
+
+func BenchmarkFig1a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig1a(opts())
+		// At 100% I/O ratio: strategy1 vs strategy3 execution time.
+		last := len(res.Table.Rows) - 1
+		reportCell(b, res, last, 1, "s1_sim_s")
+		reportCell(b, res, last, 3, "s3_sim_s")
+	}
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig1b(opts())
+		reportCell(b, res, 0, 1, "s1_4k_sim_s")
+		reportCell(b, res, 0, 3, "s3_4k_sim_s")
+	}
+}
+
+func BenchmarkFig1cd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig1cd(opts())
+		reportCell(b, res, 0, 2, "s2_monotonicity")
+		reportCell(b, res, 1, 2, "s3_monotonicity")
+	}
+}
+
+func BenchmarkFig3Read(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig3(opts())
+		reportCell(b, res, 0, 2, "mpiio_vanilla_MBs")
+		reportCell(b, res, 0, 4, "mpiio_dualpar_MBs")
+		reportCell(b, res, 1, 4, "noncontig_dualpar_MBs")
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig4(opts())
+		reportCell(b, res, 0, 2, "p16_vanilla_MBs")
+		reportCell(b, res, 0, 4, "p16_dualpar_MBs")
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig5(opts())
+		reportCell(b, res, 0, 1, "vanilla_io_s")
+		reportCell(b, res, 0, 3, "dualpar_io_s")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Table2(opts())
+		reportCell(b, res, 0, 1, "read_vanilla_MBs")
+		reportCell(b, res, 0, 3, "read_dualpar_MBs")
+		reportCell(b, res, 1, 3, "write_dualpar_MBs")
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig6(opts())
+		reportCell(b, res, 0, 3, "vanilla_seek_sect")
+		reportCell(b, res, 1, 3, "dualpar_seek_sect")
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Fig 7 needs full size for the EMC slot cadence to be meaningful.
+		res := harness.Fig7(harness.Opts{})
+		reportCell(b, res, 0, 2, "vanilla_after_MBs")
+		reportCell(b, res, 1, 2, "dualpar_after_MBs")
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig8(opts())
+		reportCell(b, res, 0, 1, "cache0_MBs")
+		reportCell(b, res, 1, 1, "cache64k_MBs")
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Table3(opts())
+		reportCell(b, res, 0, 3, "overhead_pct_1mb")
+	}
+}
+
+// Ablation benchmarks: the design choices DESIGN.md calls out.
+
+func BenchmarkAblateScheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.AblateScheduler(opts())
+		reportCell(b, res, 0, 2, "cfq_dualpar_MBs")
+		reportCell(b, res, 2, 2, "noop_dualpar_MBs")
+	}
+}
+
+func BenchmarkAblateTImprovement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.AblateTImprovement(opts())
+		reportCell(b, res, 2, 2, "t8_finish_s")
+	}
+}
+
+func BenchmarkAblateHoleThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.AblateHoleThreshold(opts())
+		reportCell(b, res, 0, 2, "hole0_accesses")
+		reportCell(b, res, 2, 2, "hole64k_accesses")
+	}
+}
+
+func BenchmarkAblateChunkSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.AblateChunkSize(opts())
+		reportCell(b, res, 1, 1, "chunk64k_MBs")
+	}
+}
+
+func BenchmarkAblateDiskOrigins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.AblateDiskOrigins(opts())
+		reportCell(b, res, 0, 1, "server_origin_MBs")
+		reportCell(b, res, 1, 1, "client_origin_MBs")
+	}
+}
+
+func BenchmarkAblateCollectiveBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.AblateCollectiveBuffer(opts())
+		reportCell(b, res, 1, 1, "cb4m_MBs")
+	}
+}
+
+// Micro-benchmarks of the substrate itself: the real (wall-clock) cost of
+// simulating the stack, which bounds what experiments are tractable.
+
+func BenchmarkSimVanillaRun(b *testing.B) {
+	m := workloads.DefaultMPIIOTest()
+	m.FileBytes = 8 << 20
+	for i := 0; i < b.N; i++ {
+		runOnce(b, m, core.ModeVanilla)
+	}
+}
+
+func BenchmarkSimDataDrivenRun(b *testing.B) {
+	m := workloads.DefaultMPIIOTest()
+	m.FileBytes = 8 << 20
+	for i := 0; i < b.N; i++ {
+		runOnce(b, m, core.ModeDataDriven)
+	}
+}
+
+func runOnce(b *testing.B, prog workloads.Program, mode core.Mode) {
+	b.Helper()
+	cl := cluster.New(cluster.DefaultConfig())
+	r := core.NewRunner(cl, core.DefaultConfig())
+	pr := r.Add(prog, mode, core.AddOptions{RanksPerNode: 8})
+	if !r.Run(time.Hour) {
+		b.Fatalf("did not finish")
+	}
+	b.ReportMetric(pr.Elapsed().Seconds(), "sim_s")
+}
+
+func BenchmarkAblateServers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.AblateServers(opts())
+		reportCell(b, res, 2, 2, "servers9_dualpar_MBs")
+	}
+}
+
+func BenchmarkAblatePipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.AblatePipeline(opts())
+		reportCell(b, res, 2, 1, "paper_cycle_s")
+		reportCell(b, res, 4, 1, "pipelined_x4_s")
+	}
+}

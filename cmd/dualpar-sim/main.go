@@ -1,0 +1,181 @@
+// Command dualpar-sim runs one benchmark on the simulated cluster under a
+// chosen execution scheme and prints the measured outcome: elapsed time,
+// throughput, disk efficiency, cache behavior, and mode switches.
+//
+// Usage:
+//
+//	dualpar-sim -workload mpi-io-test -mode dualpar -procs 64 -mb 128 [-write]
+//	            [-servers 9] [-sched cfq|deadline|noop] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dualpar/internal/cluster"
+	"dualpar/internal/core"
+	"dualpar/internal/iosched"
+	"dualpar/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "mpi-io-test", "demo|mpi-io-test|hpio|ior-mpi-io|noncontig|btio|s3asim|checkpoint|depreader")
+	mode := flag.String("mode", "vanilla", "vanilla|collective|strategy2|dualpar|data-driven")
+	procs := flag.Int("procs", 64, "MPI processes")
+	mbytes := flag.Int64("mb", 64, "data volume in MiB")
+	write := flag.Bool("write", false, "write instead of read (where applicable)")
+	servers := flag.Int("servers", 9, "data servers")
+	sched := flag.String("sched", "cfq", "disk scheduler: cfq|deadline|noop|anticipatory")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	emclog := flag.Bool("emclog", false, "print EMC's per-slot decisions")
+	slot := flag.Duration("slot", 0, "EMC sampling slot (default 1s)")
+	flag.Parse()
+
+	prog, err := buildWorkload(*workload, *procs, *mbytes<<20, *write)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	m, err := core.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.DataServers = *servers
+	ccfg.Seed = *seed
+	switch *sched {
+	case "cfq":
+	case "deadline":
+		ccfg.NewScheduler = func() iosched.Algorithm { return iosched.NewDeadline() }
+	case "noop":
+		ccfg.NewScheduler = func() iosched.Algorithm { return iosched.NewNOOP() }
+	case "anticipatory":
+		ccfg.NewScheduler = func() iosched.Algorithm { return iosched.NewAnticipatory() }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
+		os.Exit(2)
+	}
+	cl := cluster.New(ccfg)
+	dcfg := core.DefaultConfig()
+	if *slot > 0 {
+		dcfg.SlotEvery = *slot
+	}
+	runner := core.NewRunner(cl, dcfg)
+	pr := runner.Add(prog, m, core.AddOptions{RanksPerNode: 8})
+	if !runner.Run(24 * time.Hour) {
+		fmt.Fprintln(os.Stderr, "simulation did not finish within 24 simulated hours")
+		os.Exit(1)
+	}
+
+	bytes := pr.Instr().TotalBytes()
+	elapsed := pr.Elapsed()
+	rwLabel := rw(*write)
+	switch *workload {
+	case "btio", "checkpoint":
+		rwLabel = "write" // these model write phases regardless of -write
+	case "s3asim":
+		rwLabel = "read+write"
+	}
+	fmt.Printf("workload:    %s (%d procs, %s)\n", prog.Name(), prog.Ranks(), rwLabel)
+	fmt.Printf("mode:        %s\n", m)
+	fmt.Printf("elapsed:     %.3f s (simulated)\n", elapsed.Seconds())
+	fmt.Printf("volume:      %.1f MiB\n", float64(bytes)/(1<<20))
+	fmt.Printf("throughput:  %.1f MB/s\n", float64(bytes)/(1<<20)/elapsed.Seconds())
+	st := cl.ServerStats()
+	fmt.Printf("disk:        %d accesses, %d seeks, avg seek %.0f sectors\n",
+		st.Accesses, st.Seeks, st.AvgSeekDistance())
+	fmt.Printf("network:     %.1f MiB on the wire, %d messages\n",
+		float64(cl.Net.BytesSent())/(1<<20), cl.Net.Messages())
+	if c := pr.Cache(); c != nil {
+		fmt.Printf("cache:       %d gets, %d hits, %d evictions\n", c.Gets(), c.Hits(), c.Evictions())
+	}
+	if *emclog {
+		fmt.Println("EMC decisions (t, io_ratio, seek/req improvement, data-driven):")
+		for _, d := range runner.EMCDecisions() {
+			fmt.Printf("  %6.2fs  io=%.2f  imp=%6.1f  dd=%v\n",
+				d.At.Seconds(), d.IORatio, d.Improvement, d.DataDriven)
+		}
+	}
+	if len(pr.ModeSwitches) > 0 {
+		fmt.Printf("mode log:    ")
+		for _, sw := range pr.ModeSwitches {
+			state := "off"
+			if sw.On {
+				state = "ON"
+			}
+			fmt.Printf("[%.2fs %s] ", sw.At.Seconds(), state)
+		}
+		fmt.Println()
+	}
+}
+
+func rw(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+func buildWorkload(name string, procs int, bytes int64, write bool) (workloads.Program, error) {
+	switch name {
+	case "demo":
+		d := workloads.DefaultDemo()
+		d.Procs = procs
+		d.FileBytes = bytes
+		d.Write = write
+		return d, nil
+	case "mpi-io-test":
+		m := workloads.DefaultMPIIOTest()
+		m.Procs = procs
+		m.FileBytes = bytes
+		m.Write = write
+		return m, nil
+	case "hpio":
+		h := workloads.DefaultHPIO()
+		h.Procs = procs
+		h.RegionCount = bytes / h.RegionBytes
+		h.Write = write
+		return h, nil
+	case "ior-mpi-io":
+		i := workloads.DefaultIOR()
+		i.Procs = procs
+		i.FileBytes = bytes
+		i.Write = write
+		return i, nil
+	case "noncontig":
+		n := workloads.DefaultNoncontig()
+		n.Procs = procs
+		n.FileBytes = bytes
+		n.Write = write
+		return n, nil
+	case "btio":
+		// BT-IO's canonical phase writes the solution array; -write is
+		// implied. (Set Read in code to model the verification read-back.)
+		b := workloads.DefaultBTIO()
+		b.Procs = procs
+		b.TotalBytes = bytes
+		return b, nil
+	case "s3asim":
+		s := workloads.DefaultS3asim()
+		s.Procs = procs
+		return s, nil
+	case "checkpoint":
+		c := workloads.DefaultCheckpoint()
+		c.Procs = procs
+		c.Checkpoints = int(bytes / (int64(procs) * c.BlockBytes))
+		if c.Checkpoints < 1 {
+			c.Checkpoints = 1
+		}
+		return c, nil
+	case "depreader":
+		d := workloads.DefaultDependentReader()
+		d.Procs = procs
+		d.FileBytes = bytes
+		return d, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}

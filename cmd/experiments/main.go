@@ -1,0 +1,126 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Results print as aligned tables; -out writes CSV files (and
+// LBN trace series for the figure experiments) into a directory.
+//
+// Usage:
+//
+//	experiments [-run all|fig1a|fig1b|fig1cd|fig3|fig4|fig5|table2|fig6|fig7|fig8|table3]
+//	            [-quick] [-seed N] [-out DIR] [-q]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dualpar/internal/harness"
+	"dualpar/internal/metrics"
+)
+
+var experiments = map[string]func(harness.Opts) *harness.Result{
+	"fig1a":  harness.Fig1a,
+	"fig1b":  harness.Fig1b,
+	"fig1cd": harness.Fig1cd,
+	"fig3":   harness.Fig3,
+	"fig4":   harness.Fig4,
+	"fig5":   harness.Fig5,
+	"table2": harness.Table2,
+	"fig6":   harness.Fig6,
+	"fig7":   harness.Fig7,
+	"fig8":   harness.Fig8,
+	"table3": harness.Table3,
+
+	"ablate-sched":     harness.AblateScheduler,
+	"ablate-t":         harness.AblateTImprovement,
+	"ablate-hole":      harness.AblateHoleThreshold,
+	"ablate-chunk":     harness.AblateChunkSize,
+	"ablate-origins":   harness.AblateDiskOrigins,
+	"ablate-cb":        harness.AblateCollectiveBuffer,
+	"ablate-ssd":       harness.AblateSSD,
+	"ablate-writepath": harness.AblateWritePath,
+	"ablate-s2window":  harness.AblateStrategy2Window,
+	"ablate-servers":   harness.AblateServers,
+	"ablate-pipeline":  harness.AblatePipeline,
+}
+
+var order = []string{
+	"fig1a", "fig1b", "fig1cd", "fig3", "fig4", "fig5", "table2", "fig6", "fig7", "fig8", "table3",
+	"ablate-sched", "ablate-t", "ablate-hole", "ablate-chunk", "ablate-origins", "ablate-cb", "ablate-ssd",
+	"ablate-writepath", "ablate-s2window", "ablate-servers", "ablate-pipeline",
+}
+
+func main() {
+	run := flag.String("run", "all", "experiment id or 'all'")
+	quick := flag.Bool("quick", false, "reduced workload sizes (smoke test)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	out := flag.String("out", "", "directory for CSV outputs")
+	quiet := flag.Bool("q", false, "suppress progress lines")
+	flag.Parse()
+
+	var log io.Writer = os.Stderr
+	if *quiet {
+		log = nil
+	}
+	opts := harness.Opts{Quick: *quick, Seed: *seed, Log: log}
+
+	var ids []string
+	if *run == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			if _, ok := experiments[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(order, " "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range ids {
+		res := experiments[id](opts)
+		fmt.Printf("== %s ==\n", res.Title)
+		for _, n := range res.Notes {
+			fmt.Printf("   note: %s\n", n)
+		}
+		fmt.Println(res.Table.String())
+		for _, s := range res.Series {
+			fmt.Print(metrics.ASCIIChart(s, 72, 8))
+		}
+		if *out != "" {
+			if err := writeResult(*out, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeResult(dir string, res *harness.Result) error {
+	f, err := os.Create(filepath.Join(dir, res.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.Table.WriteCSVTable(f); err != nil {
+		return err
+	}
+	if len(res.Series) > 0 {
+		sf, err := os.Create(filepath.Join(dir, res.ID+"-series.csv"))
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		if err := metrics.WriteCSV(sf, res.Series...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+// Collective: compares vanilla MPI-IO, two-phase collective I/O, and
+// DualPar on the noncontig benchmark — 64 processes each reading one column
+// of a 2-D array, the access pattern collective I/O was invented for.
+//
+//	go run ./examples/collective
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dualpar/internal/cluster"
+	"dualpar/internal/core"
+	"dualpar/internal/workloads"
+)
+
+func main() {
+	prog := workloads.DefaultNoncontig()
+	prog.FileBytes = 64 << 20
+
+	fmt.Printf("noncontig: %d procs, %d columns of %d-byte cells, %d MiB\n\n",
+		prog.Procs, prog.Procs, prog.CellBytes(), prog.FileBytes>>20)
+	fmt.Printf("%-12s %10s %12s %14s %12s\n", "scheme", "elapsed", "throughput", "disk accesses", "avg seek")
+
+	for _, mode := range []core.Mode{core.ModeVanilla, core.ModeCollective, core.ModeDataDriven} {
+		cl := cluster.New(cluster.DefaultConfig())
+		runner := core.NewRunner(cl, core.DefaultConfig())
+		pr := runner.Add(prog, mode, core.AddOptions{RanksPerNode: 8})
+		if !runner.Run(time.Hour) {
+			panic("did not finish")
+		}
+		st := cl.ServerStats()
+		fmt.Printf("%-12s %9.2fs %9.1f MB/s %14d %9.0f sect\n",
+			mode, pr.Elapsed().Seconds(),
+			float64(pr.Instr().TotalBytes())/(1<<20)/pr.Elapsed().Seconds(),
+			st.Accesses, st.AvgSeekDistance())
+	}
+
+	fmt.Println("\nCollective I/O merges each call's interleaved cells into large")
+	fmt.Println("contiguous aggregator accesses; DualPar goes further by batching")
+	fmt.Println("across calls up to each process's cache quota (paper §V-B).")
+}

@@ -1,0 +1,3 @@
+module dualpar
+
+go 1.22

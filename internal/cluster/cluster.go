@@ -1,0 +1,152 @@
+// Package cluster assembles the simulated testbed the paper evaluates on:
+// a metadata server, a set of PVFS2 data servers (each with a two-disk
+// RAID behind a kernel I/O scheduler), compute nodes, and a switched
+// Gigabit Ethernet connecting them.
+//
+// Node numbering: node 0 is the metadata server, nodes 1..DataServers are
+// data servers, and compute nodes start at ComputeNodeBase.
+package cluster
+
+import (
+	"fmt"
+
+	"dualpar/internal/disk"
+	"dualpar/internal/fs"
+	"dualpar/internal/iosched"
+	"dualpar/internal/netsim"
+	"dualpar/internal/pfs"
+	"dualpar/internal/sim"
+)
+
+// ComputeNodeBase is the first compute-node id.
+const ComputeNodeBase = 100
+
+// Config describes a cluster.
+type Config struct {
+	DataServers   int
+	ComputeNodes  int
+	DisksPerRAID  int
+	Disk          disk.Params
+	FS            fs.Config
+	Net           netsim.Config
+	PFS           pfs.Config
+	Seed          int64
+	TraceServers  bool                     // enable blktrace-style logs on all data servers
+	NewScheduler  func() iosched.Algorithm // per-server elevator; nil = CFQ
+	RAIDChunkSect int64                    // RAID0 chunk in sectors
+	// SSD replaces the rotating RAID with a flash device on every data
+	// server (forward-looking ablation: the paper's premise is seek-bound
+	// storage).
+	SSD *disk.SSDParams
+}
+
+// DefaultConfig matches the paper's platform: 9 data servers + 1 metadata
+// server, CFQ, PVFS2 with 64 KB striping, Gigabit Ethernet, two-drive RAID.
+func DefaultConfig() Config {
+	return Config{
+		DataServers:   9,
+		ComputeNodes:  8,
+		DisksPerRAID:  2,
+		Disk:          disk.DefaultParams(),
+		FS:            fs.DefaultConfig(),
+		Net:           netsim.DefaultConfig(),
+		PFS:           pfs.DefaultConfig(),
+		Seed:          1,
+		RAIDChunkSect: 128, // 64 KB
+	}
+}
+
+// Cluster is an assembled testbed.
+type Cluster struct {
+	K      *sim.Kernel
+	Net    *netsim.Network
+	FS     *pfs.FileSystem
+	Stores []*fs.Store
+	cfg    Config
+}
+
+// New builds a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.DataServers <= 0 || cfg.ComputeNodes <= 0 || cfg.DisksPerRAID <= 0 {
+		panic(fmt.Sprintf("cluster: bad shape %d/%d/%d", cfg.DataServers, cfg.ComputeNodes, cfg.DisksPerRAID))
+	}
+	k := sim.NewKernel(cfg.Seed)
+	net := netsim.New(k, cfg.Net)
+	newSched := cfg.NewScheduler
+	if newSched == nil {
+		newSched = func() iosched.Algorithm { return iosched.NewCFQ() }
+	}
+	var nodes []int
+	var stores []*fs.Store
+	for i := 0; i < cfg.DataServers; i++ {
+		var dev disk.Device
+		dp := cfg.Disk
+		dp.Seed = cfg.Seed*7919 + int64(i)*101
+		if cfg.SSD != nil {
+			sp := *cfg.SSD
+			sp.Seed = dp.Seed
+			sd := disk.NewSSD(sp)
+			if cfg.TraceServers {
+				sd.EnableTrace()
+			}
+			dev = sd
+		} else if cfg.DisksPerRAID == 1 {
+			d := disk.New(dp)
+			if cfg.TraceServers {
+				d.EnableTrace()
+			}
+			dev = d
+		} else {
+			members := make([]*disk.Disk, cfg.DisksPerRAID)
+			for m := range members {
+				mp := dp
+				mp.Seed = dp.Seed + int64(m) + 1
+				members[m] = disk.New(mp)
+			}
+			r := disk.NewRAID0(members, cfg.RAIDChunkSect)
+			if cfg.TraceServers {
+				r.EnableTrace()
+			}
+			dev = r
+		}
+		st := fs.New(k, fmt.Sprintf("server%d", i), dev, newSched(), cfg.FS, flusherOriginBase+i)
+		stores = append(stores, st)
+		nodes = append(nodes, 1+i)
+	}
+	fsys := pfs.New(k, net, cfg.PFS, 0, nodes, stores)
+	return &Cluster{K: k, Net: net, FS: fsys, Stores: stores, cfg: cfg}
+}
+
+// flusherOriginBase keeps server-flusher origins away from program origins.
+const flusherOriginBase = 1 << 20
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// ComputeNodes returns the compute-node ids.
+func (c *Cluster) ComputeNodes() []int {
+	out := make([]int, c.cfg.ComputeNodes)
+	for i := range out {
+		out[i] = ComputeNodeBase + i
+	}
+	return out
+}
+
+// MetaNode returns the metadata server's node id.
+func (c *Cluster) MetaNode() int { return 0 }
+
+// ServerStats aggregates device stats across data servers.
+func (c *Cluster) ServerStats() disk.Stats {
+	var agg disk.Stats
+	for _, st := range c.Stores {
+		s := st.Device().Stats()
+		agg.Accesses += s.Accesses
+		agg.Seeks += s.Seeks
+		agg.SeekSectors += s.SeekSectors
+		agg.BytesRead += s.BytesRead
+		agg.BytesWritten += s.BytesWritten
+		agg.BusyTime += s.BusyTime
+		agg.SequentialRun += s.SequentialRun
+	}
+	return agg
+}

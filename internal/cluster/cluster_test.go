@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dualpar/internal/ext"
+	"dualpar/internal/iosched"
+	"dualpar/internal/sim"
+)
+
+func TestDefaultShapeMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.DataServers != 9 {
+		t.Fatalf("data servers = %d, want 9", cfg.DataServers)
+	}
+	if cfg.DisksPerRAID != 2 {
+		t.Fatalf("disks per RAID = %d, want 2", cfg.DisksPerRAID)
+	}
+	if cfg.PFS.StripeUnit != 64<<10 {
+		t.Fatalf("stripe unit = %d, want 64K", cfg.PFS.StripeUnit)
+	}
+}
+
+func TestClusterAssembles(t *testing.T) {
+	cl := New(DefaultConfig())
+	if len(cl.Stores) != 9 {
+		t.Fatalf("stores = %d", len(cl.Stores))
+	}
+	if cl.FS.NumServers() != 9 {
+		t.Fatalf("pfs servers = %d", cl.FS.NumServers())
+	}
+	if len(cl.ComputeNodes()) != 8 || cl.ComputeNodes()[0] != ComputeNodeBase {
+		t.Fatalf("compute nodes = %v", cl.ComputeNodes())
+	}
+	if cl.MetaNode() != 0 {
+		t.Fatalf("meta node = %d", cl.MetaNode())
+	}
+}
+
+func TestEndToEndReadThroughCluster(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DataServers = 3
+	cl := New(cfg)
+	client := cl.FS.Client(ComputeNodeBase)
+	var took time.Duration
+	cl.K.Spawn("client", func(p *sim.Proc) {
+		client.Create(p, "f", 8<<20)
+		t0 := p.Now()
+		client.Read(p, "f", []ext.Extent{{Off: 0, Len: 8 << 20}}, 1)
+		took = p.Now() - t0
+	})
+	cl.K.RunUntil(time.Minute)
+	if took <= 0 {
+		t.Fatalf("read did not complete")
+	}
+	// 8MB at GigE client downlink ~117MB/s floor is ~68ms; disk adds more.
+	if took > 2*time.Second {
+		t.Fatalf("8MB read took %v, implausibly slow", took)
+	}
+	st := cl.ServerStats()
+	if st.BytesRead < 8<<20 {
+		t.Fatalf("server stats read bytes = %d", st.BytesRead)
+	}
+}
+
+func TestSchedulerFactoryRespected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DataServers = 2
+	calls := 0
+	cfg.NewScheduler = func() iosched.Algorithm {
+		calls++
+		return iosched.NewNOOP()
+	}
+	cl := New(cfg)
+	if calls != 2 {
+		t.Fatalf("scheduler factory called %d times, want 2", calls)
+	}
+	if cl.Stores[0].Dispatcher().Algorithm().Name() != "noop" {
+		t.Fatalf("scheduler = %s", cl.Stores[0].Dispatcher().Algorithm().Name())
+	}
+}
+
+func TestTraceServersEnablesTraces(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DataServers = 2
+	cfg.TraceServers = true
+	cl := New(cfg)
+	for i, st := range cl.Stores {
+		if st.Device().Trace() == nil {
+			t.Fatalf("server %d has no trace", i)
+		}
+	}
+}
+
+func TestSingleDiskConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DataServers = 1
+	cfg.DisksPerRAID = 1
+	cl := New(cfg)
+	if cl.Stores[0].Device().Sectors() != cfg.Disk.Sectors {
+		t.Fatalf("single-disk capacity mismatch")
+	}
+}

@@ -1,0 +1,193 @@
+// Package core implements DualPar (paper §IV): opportunistic dual-mode
+// execution of parallel programs. Its three modules follow the paper's
+// architecture:
+//
+//   - EMC (Execution Mode Control), conceptually on the metadata server,
+//     decides per program whether to run computation-driven or data-driven,
+//     from the program's I/O ratio and the ratio of observed disk seek
+//     distance (SeekDist, from per-server locality daemons) to the best
+//     achievable request distance (ReqDist, from client-side request logs).
+//
+//   - PEC (Process Execution Control), in the MPI-IO layer, suspends a rank
+//     that misses the global cache, forks a ghost (a clone of the rank's
+//     deterministic op generator) that re-executes computation and records
+//     future read requests until the rank's cache quota is filled.
+//
+//   - CRM (Cache and Request Management) collects all ranks' recorded
+//     requests, sorts and merges them, fills small holes, aligns to the
+//     64 KB chunk, and issues one sorted list-I/O batch per data server;
+//     fetched chunks land in a memcached-style global cache with
+//     round-robin chunk homes. Data-driven writes are buffered dirty in the
+//     cache and collectively written back when quotas fill.
+//
+// The package also implements the paper's baselines: computation-driven
+// vanilla MPI-IO (Strategy 1), application-level pre-execution prefetching
+// with immediate issue (Strategy 2, §II), and collective I/O.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dualpar/internal/memcache"
+)
+
+// Config carries DualPar's tunables; defaults follow the paper's prototype.
+type Config struct {
+	// CacheQuotaBytes is each process's share of the global cache (1 MB
+	// default, §V).
+	CacheQuotaBytes int64
+	// TImprovement is the aveSeekDist/aveReqDist threshold for entering
+	// data-driven mode. The paper's prototype uses 3 and reports the system
+	// is insensitive to the value; in this substrate the measured
+	// improvement is ~6 for a healthy sequential stream and >100 under
+	// inter-program interference, so the default sits at 8 — anywhere in
+	// that wide gap behaves identically (see the T-sensitivity ablation
+	// bench).
+	TImprovement float64
+	// IORatioThreshold is the minimum I/O intensity for data-driven mode
+	// (0.8, §IV-B).
+	IORatioThreshold float64
+	// MisPrefetchThreshold disables data-driven mode when the mean
+	// mis-prefetch ratio exceeds it (0.2, §IV-C).
+	MisPrefetchThreshold float64
+	// HoleBytes is the largest unrequested hole absorbed when CRM merges
+	// requests (§IV-D).
+	HoleBytes int64
+	// SlotEvery is EMC's sampling slot.
+	SlotEvery time.Duration
+	// MinFillWait/MaxFillWait clamp the expected-time-to-fill deadline that
+	// stops lagging pre-executions (§IV-C).
+	MinFillWait time.Duration
+	MaxFillWait time.Duration
+	// JoinGrace is how long a cycle keeps waiting for more ranks to join
+	// after every current participant's ghost has paused; it lets
+	// lockstepped ranks batch together without letting one straggler stall
+	// the cycle until the fill deadline.
+	JoinGrace time.Duration
+	// MisCyclesToDisable is PEC's fast path: after this many consecutive
+	// cycles whose mis-prefetch ratio exceeds MisPrefetchThreshold, the
+	// data-driven mode is turned off immediately (EMC's slot-based check
+	// remains the general mechanism).
+	MisCyclesToDisable int
+	// PipelineDepth extends data-driven cycles beyond the paper (an
+	// extension, off at the default of 1): ghosts record up to
+	// PipelineDepth x quota; the first quota's worth is served before the
+	// ranks resume (the paper's cycle), and the remainder is prefetched in
+	// the background *while* the ranks consume — adding Strategy 2's
+	// compute/I/O overlap to Strategy 3's request ordering.
+	PipelineDepth int
+	// Strategy2WindowBytes bounds how far ahead the Strategy-2 prefetcher
+	// runs of consumption (total across ranks; each rank gets an equal
+	// share). The default keeps per-rank prefetch depth shallow — enough
+	// to hide I/O under computation, but not so deep that the immediate-
+	// issue stream turns into DualPar-style batches (the paper's Strategy 2
+	// never approaches Strategy 3's disk efficiency).
+	Strategy2WindowBytes int64
+	// Memcache configures the global cache (chunk size should match the
+	// PVFS2 stripe unit).
+	Memcache memcache.Config
+}
+
+// DefaultConfig returns the paper's prototype parameters.
+func DefaultConfig() Config {
+	return Config{
+		CacheQuotaBytes:      1 << 20,
+		TImprovement:         8,
+		IORatioThreshold:     0.8,
+		MisPrefetchThreshold: 0.2,
+		HoleBytes:            64 << 10,
+		SlotEvery:            time.Second,
+		MinFillWait:          20 * time.Millisecond,
+		MaxFillWait:          2 * time.Second,
+		JoinGrace:            10 * time.Millisecond,
+		MisCyclesToDisable:   3,
+		PipelineDepth:        1,
+		Strategy2WindowBytes: 512 << 10,
+		Memcache:             memcache.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.CacheQuotaBytes < 0:
+		return fmt.Errorf("core: CacheQuotaBytes %d", c.CacheQuotaBytes)
+	case c.TImprovement <= 0:
+		return fmt.Errorf("core: TImprovement %g", c.TImprovement)
+	case c.IORatioThreshold <= 0 || c.IORatioThreshold > 1:
+		return fmt.Errorf("core: IORatioThreshold %g", c.IORatioThreshold)
+	case c.MisPrefetchThreshold <= 0 || c.MisPrefetchThreshold > 1:
+		return fmt.Errorf("core: MisPrefetchThreshold %g", c.MisPrefetchThreshold)
+	case c.HoleBytes < 0:
+		return fmt.Errorf("core: HoleBytes %d", c.HoleBytes)
+	case c.SlotEvery <= 0:
+		return fmt.Errorf("core: SlotEvery %v", c.SlotEvery)
+	case c.MinFillWait <= 0 || c.MaxFillWait < c.MinFillWait:
+		return fmt.Errorf("core: fill wait range [%v,%v]", c.MinFillWait, c.MaxFillWait)
+	case c.JoinGrace < 0:
+		return fmt.Errorf("core: JoinGrace %v", c.JoinGrace)
+	case c.MisCyclesToDisable <= 0:
+		return fmt.Errorf("core: MisCyclesToDisable %d", c.MisCyclesToDisable)
+	case c.PipelineDepth <= 0:
+		return fmt.Errorf("core: PipelineDepth %d", c.PipelineDepth)
+	case c.Strategy2WindowBytes <= 0:
+		return fmt.Errorf("core: Strategy2WindowBytes %d", c.Strategy2WindowBytes)
+	}
+	return c.Memcache.Validate()
+}
+
+// Mode selects a program's execution scheme.
+type Mode int
+
+// Execution modes: the paper's baselines and DualPar.
+const (
+	// ModeVanilla is Strategy 1: computation-driven vanilla MPI-IO.
+	ModeVanilla Mode = iota
+	// ModeCollective uses collective (two-phase) I/O for every call.
+	ModeCollective
+	// ModeStrategy2 is application-level pre-execution prefetching with
+	// immediate request issue (§II).
+	ModeStrategy2
+	// ModeDualPar is full DualPar: EMC switches data-driven mode on and
+	// off opportunistically.
+	ModeDualPar
+	// ModeDataDriven is DualPar with data-driven mode forced on (the paper
+	// pins it for the single-application comparisons).
+	ModeDataDriven
+)
+
+// ParseMode converts a mode name (as printed by String) back to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "vanilla":
+		return ModeVanilla, nil
+	case "collective":
+		return ModeCollective, nil
+	case "strategy2":
+		return ModeStrategy2, nil
+	case "dualpar":
+		return ModeDualPar, nil
+	case "data-driven":
+		return ModeDataDriven, nil
+	}
+	return 0, fmt.Errorf("core: unknown mode %q", s)
+}
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeVanilla:
+		return "vanilla"
+	case ModeCollective:
+		return "collective"
+	case ModeStrategy2:
+		return "strategy2"
+	case ModeDualPar:
+		return "dualpar"
+	case ModeDataDriven:
+		return "data-driven"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dualpar/internal/ext"
+	"dualpar/internal/sim"
+)
+
+// crmServe is one CRM service phase (paper §IV-D): write back all dirty
+// data first, then serve the batched prefetch. In both directions requests
+// from all processes are sorted by file offset, adjacent requests merged,
+// holes up to the threshold absorbed (write holes are read back first —
+// read-modify-write), and the result issued as list I/O in ascending
+// offset order from each chunk's home node.
+func (pr *ProgramRun) crmServe(p *sim.Proc, wishFiles []string, wish map[string][]ext.Extent) {
+	cfg := pr.r.cfg
+
+	// Phase 1: collective writeback of everything dirty.
+	for _, file := range pr.cache.DirtyFiles() {
+		dirty := pr.cache.DirtyExtents(file)
+		merged := ext.MergeWithHoles(dirty, cfg.HoleBytes)
+		holes := ext.Holes(dirty, merged)
+		if len(holes) > 0 {
+			// Fill the holes with reads so larger writes can be formed.
+			pr.issueByHome(p, file, holes, crmRead)
+		}
+		pr.issueByHome(p, file, merged, crmWrite)
+		pr.cache.MarkClean(file)
+	}
+
+	// Phase 2: batched prefetch of the ghosts' recorded reads.
+	if len(wishFiles) > 0 {
+		// Close out the previous cycle's mis-prefetch sample: the fraction
+		// of prefetched data not consumed when this pre-execution began
+		// (§IV-C).
+		if pr.prefetchedCycle > 0 {
+			ratio := 1 - float64(pr.consumedCycle)/float64(pr.prefetchedCycle)
+			if ratio < 0 {
+				ratio = 0
+			}
+			pr.misSamples = append(pr.misSamples, ratio)
+			pr.checkMisPrefetchFastPath()
+		}
+		pr.consumedCycle = 0
+		pr.prefetchedCycle = 0
+	}
+	pr.crmPrefetch(p, wishFiles, wish)
+}
+
+// crmPrefetch serves a batched prefetch: sort, merge, absorb holes, align
+// to the cache chunk, and issue per home node.
+func (pr *ProgramRun) crmPrefetch(p *sim.Proc, wishFiles []string, wish map[string][]ext.Extent) {
+	cfg := pr.r.cfg
+	for _, file := range wishFiles {
+		merged := ext.MergeWithHoles(wish[file], cfg.HoleBytes)
+		aligned := ext.AlignTo(merged, cfg.Memcache.ChunkBytes)
+		aligned = pr.clipToFile(file, aligned)
+		if len(aligned) == 0 {
+			continue
+		}
+		pr.prefetchedCycle += ext.Total(aligned)
+		pr.issueByHome(p, file, aligned, crmPrefetch)
+	}
+}
+
+type crmOp int
+
+const (
+	crmRead     crmOp = iota // read, discard (hole fill for writeback)
+	crmWrite                 // write back dirty data
+	crmPrefetch              // read into the global cache
+)
+
+// issueByHome partitions extents by their chunks' home nodes and issues one
+// sorted list-I/O batch per home node, in parallel, waiting for all.
+func (pr *ProgramRun) issueByHome(p *sim.Proc, file string, extents []ext.Extent, op crmOp) {
+	chunk := pr.r.cfg.Memcache.ChunkBytes
+	perHome := make(map[int][]ext.Extent)
+	for _, piece := range ext.SplitAt(extents, chunk) {
+		home := pr.cache.Home(piece.Off / chunk)
+		perHome[home] = append(perHome[home], piece)
+	}
+	homes := make([]int, 0, len(perHome))
+	for h := range perHome {
+		homes = append(homes, h)
+	}
+	sort.Ints(homes)
+	k := pr.r.cl.K
+	wg := k.NewWaitGroup()
+	for _, home := range homes {
+		home := home
+		batch := ext.Merge(perHome[home])
+		wg.Add(1)
+		k.Spawn(fmt.Sprintf("prog%d/crm-home%d", pr.id, home), func(hp *sim.Proc) {
+			defer wg.Done()
+			cl := pr.r.cl.FS.Client(home)
+			switch op {
+			case crmWrite:
+				cl.Write(hp, file, batch, pr.crmOrigin)
+			case crmRead:
+				cl.Read(hp, file, batch, pr.crmOrigin)
+			case crmPrefetch:
+				cl.Read(hp, file, batch, pr.crmOrigin)
+				pr.cache.PutClean(hp, home, file, batch)
+			}
+		})
+	}
+	wg.Wait(p)
+}
+
+// clipToFile bounds prefetch extents to the file's known size (alignment
+// must not read past EOF of a pre-created file).
+func (pr *ProgramRun) clipToFile(file string, extents []ext.Extent) []ext.Extent {
+	var size int64
+	for _, fs := range pr.prog.Files() {
+		if fs.Name == file && fs.Size > 0 {
+			size = fs.Size
+		}
+	}
+	if size == 0 {
+		return extents
+	}
+	var out []ext.Extent
+	for _, e := range extents {
+		if c, ok := e.Clip(0, size); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// checkMisPrefetchFastPath is PEC's immediate guard: once the last
+// MisCyclesToDisable cycles were all above the mis-prefetch threshold, the
+// data-driven mode is disabled on the spot, bounding the wasted prefetching
+// to a few cycles (the paper's "one-time overhead", §V-F).
+func (pr *ProgramRun) checkMisPrefetchFastPath() {
+	cfg := pr.r.cfg
+	n := cfg.MisCyclesToDisable
+	if pr.disabled || len(pr.misSamples) < n {
+		return
+	}
+	for _, s := range pr.misSamples[len(pr.misSamples)-n:] {
+		if s <= cfg.MisPrefetchThreshold {
+			return
+		}
+	}
+	pr.disabled = true
+	pr.setDataDriven(false)
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dualpar/internal/ext"
+	"dualpar/internal/sim"
+	"dualpar/internal/workloads"
+)
+
+// controller orchestrates data-driven cycles for one program (PEC + CRM
+// coordination, paper §IV-C): ranks suspend as they miss the cache (reads)
+// or fill their quota (writes); ghosts record future reads; when every
+// ghost has paused and every live rank participates — or the expected
+// cache-fill deadline expires — CRM writes back dirty data, serves the
+// batched prefetch, and resumes everyone.
+type controller struct {
+	pr *ProgramRun
+
+	state        int // 0 idle, 1 filling, 2 serving
+	gen          int // cycle generation
+	resume       *sim.Signal
+	abort        *sim.Signal // interrupts sleeping ghosts when the cycle serves
+	participants int
+	ghostsActive int
+	stopGhosts   bool
+	wish         map[string][]ext.Extent
+	wishFiles    []string                // insertion-ordered keys of wish (determinism)
+	wish2        map[string][]ext.Extent // pipeline overflow (served in background)
+	wish2Files   []string
+	cycles       int64
+}
+
+const (
+	ctrlIdle = iota
+	ctrlFilling
+	ctrlServing
+)
+
+func newController(pr *ProgramRun) *controller {
+	return &controller{
+		pr:     pr,
+		resume: pr.r.cl.K.NewSignal(),
+		abort:  pr.r.cl.K.NewSignal(),
+		wish:   make(map[string][]ext.Extent),
+		wish2:  make(map[string][]ext.Extent),
+	}
+}
+
+// Cycles reports how many data-driven cycles have completed.
+func (c *controller) Cycles() int64 { return c.cycles }
+
+// addWish records requested extents for the coming batch.
+func (c *controller) addWish(file string, extents []ext.Extent) {
+	if _, ok := c.wish[file]; !ok {
+		c.wishFiles = append(c.wishFiles, file)
+	}
+	c.wish[file] = append(c.wish[file], extents...)
+}
+
+// addWish2 records extents for the pipelined background wave.
+func (c *controller) addWish2(file string, extents []ext.Extent) {
+	if _, ok := c.wish2[file]; !ok {
+		c.wish2Files = append(c.wish2Files, file)
+	}
+	c.wish2[file] = append(c.wish2[file], extents...)
+}
+
+// join registers a participant, arming the fill deadline on the first one.
+func (c *controller) join(p *sim.Proc) int {
+	if c.state == ctrlIdle {
+		c.state = ctrlFilling
+		c.stopGhosts = false
+		c.armDeadline()
+	}
+	c.participants++
+	return c.gen
+}
+
+// armDeadline schedules the expected-time-to-fill cutoff: the quota divided
+// by the recent per-rank consumption rate, clamped (paper §IV-C).
+func (c *controller) armDeadline() {
+	cfg := c.pr.r.cfg
+	bps := c.pr.recentRankBps
+	if bps <= 0 {
+		bps = 1e6
+	}
+	wait := time.Duration(float64(cfg.CacheQuotaBytes) / bps * float64(time.Second))
+	if wait < cfg.MinFillWait {
+		wait = cfg.MinFillWait
+	}
+	if wait > cfg.MaxFillWait {
+		wait = cfg.MaxFillWait
+	}
+	gen := c.gen
+	c.pr.r.cl.K.After(wait, func() {
+		if c.gen != gen || c.state != ctrlFilling {
+			return
+		}
+		c.stopGhosts = true
+		c.serve()
+	})
+}
+
+// waitReadCycle suspends a rank that missed the cache: its pending request
+// is guaranteed into the batch, a ghost is forked from the rank's current
+// position, and the rank sleeps until the cycle is served.
+func (c *controller) waitReadCycle(p *sim.Proc, rank int, gen workloads.RankGen, op workloads.Op) {
+	myGen := c.join(p)
+	// The triggering request itself is always served (§IV-C: prefetch
+	// includes the data the process and its peers are anticipated to read,
+	// starting with what it is blocked on).
+	c.addWish(op.File, op.Extents)
+	c.startGhost(rank, gen, op)
+	c.maybeServe()
+	for c.gen == myGen {
+		c.resume.Wait(p)
+	}
+}
+
+// waitWriteback suspends a rank whose dirty quota filled until the next
+// cycle's writeback drains the cache. The caller accounts the time.
+func (c *controller) waitWriteback(p *sim.Proc, rank int) {
+	myGen := c.join(p)
+	c.maybeServe()
+	for c.gen == myGen {
+		c.resume.Wait(p)
+	}
+}
+
+// startGhost forks the pre-execution for one suspended rank. The ghost
+// re-executes computation (charged in virtual time on spare cores), records
+// read requests without issuing them, skips communication and writes, and
+// pauses at the rank's quota (§IV-C).
+func (c *controller) startGhost(rank int, gen workloads.RankGen, pending workloads.Op) {
+	c.ghostsActive++
+	myGen := c.gen
+	clone := gen.Clone()
+	env := newGhostEnv()
+	env.record(pending.File, pending.Extents)
+	quota := c.pr.r.cfg.CacheQuotaBytes
+	limit := quota * int64(c.pr.r.cfg.PipelineDepth)
+	recorded := pending.Bytes()
+	k := c.pr.r.cl.K
+	k.Spawn(fmt.Sprintf("prog%d/ghost%d", c.pr.id, rank), func(p *sim.Proc) {
+		defer func() {
+			if c.gen == myGen {
+				c.ghostsActive--
+				c.maybeServe()
+			}
+		}()
+		// Phase 1 (the paper's pre-execution): record up to the quota with
+		// the computation retained (§IV-C). A serve — deadline or full
+		// participation — interrupts any in-progress compute via abort.
+		interrupted := false
+		for recorded < quota && !interrupted {
+			if c.stopGhosts || c.gen != myGen {
+				interrupted = true
+				break
+			}
+			op := clone.Next(env)
+			switch op.Kind {
+			case workloads.OpDone:
+				return
+			case workloads.OpCompute:
+				if c.abort.WaitTimeout(p, op.Dur) {
+					interrupted = true // cycle is serving; stop sleeping
+				}
+			case workloads.OpRead:
+				if c.gen != myGen {
+					return
+				}
+				c.addWish(op.File, op.Extents)
+				env.record(op.File, op.Extents)
+				recorded += op.Bytes()
+			case workloads.OpWrite, workloads.OpBarrier:
+				// Writes produce no effects during pre-execution;
+				// synchronization is skipped (peers' ghosts may not exist).
+			}
+		}
+		if c.gen != myGen {
+			return
+		}
+		// Phase 2 (extension, PipelineDepth > 1): record the overflow wave
+		// in stripped mode (Strategy-2 style, computation skipped):
+		// prediction only, instantaneous, completed before the serve
+		// snapshot — the mis-prefetch guard is the safety net for the
+		// accuracy it gives up.
+		for recorded < limit {
+			op := clone.Next(env)
+			switch op.Kind {
+			case workloads.OpDone:
+				return
+			case workloads.OpRead:
+				c.addWish2(op.File, op.Extents)
+				env.record(op.File, op.Extents)
+				recorded += op.Bytes()
+			case workloads.OpCompute, workloads.OpWrite, workloads.OpBarrier:
+			}
+		}
+	})
+}
+
+// maybeServe starts the CRM service phase once every live rank participates
+// and all ghosts have paused. If all current ghosts have paused but some
+// live ranks have not joined, a short grace period lets late lockstep ranks
+// batch in before serving; the fill deadline remains the hard stop.
+func (c *controller) maybeServe() {
+	if c.state != ctrlFilling {
+		return
+	}
+	alive := c.pr.prog.Ranks() - c.pr.doneRanks
+	if c.participants >= alive && c.ghostsActive == 0 {
+		c.serve()
+		return
+	}
+	if c.ghostsActive == 0 && c.participants > 0 {
+		gen, count := c.gen, c.participants
+		grace := c.pr.r.cfg.JoinGrace
+		c.pr.r.cl.K.After(grace, func() {
+			if c.state == ctrlFilling && c.gen == gen && c.participants == count && c.ghostsActive == 0 {
+				c.serve()
+			}
+		})
+	}
+}
+
+// serve snapshots the batch and runs CRM in a dedicated proc.
+func (c *controller) serve() {
+	if c.state != ctrlFilling {
+		return
+	}
+	c.state = ctrlServing
+	c.stopGhosts = true
+	// Wake sleeping ghosts so they can flush their pipelined overflow
+	// before the snapshot; their wakeups run before the After(0) event.
+	c.abort.Broadcast()
+	k := c.pr.r.cl.K
+	k.After(0, func() {
+		wish := c.wish
+		files := c.wishFiles
+		wish2 := c.wish2
+		files2 := c.wish2Files
+		c.wish = make(map[string][]ext.Extent)
+		c.wishFiles = nil
+		c.wish2 = make(map[string][]ext.Extent)
+		c.wish2Files = nil
+		k.Spawn(fmt.Sprintf("prog%d/crm", c.pr.id), func(p *sim.Proc) {
+			c.pr.crmServe(p, files, wish)
+			c.finishCycle()
+			// The pipelined wave runs after the ranks resume, overlapping
+			// the fetch with their consumption of the first wave.
+			if len(files2) > 0 {
+				c.pr.crmPrefetch(p, files2, wish2)
+			}
+		})
+	})
+}
+
+// finishCycle resumes all suspended ranks and opens the next generation.
+func (c *controller) finishCycle() {
+	c.cycles++
+	c.gen++
+	c.state = ctrlIdle
+	c.participants = 0
+	c.ghostsActive = 0
+	for i := range c.pr.dirtyUsed {
+		c.pr.dirtyUsed[i] = 0
+	}
+	c.resume.Broadcast()
+}
+
+// ghostEnv hides the content of reads recorded but not served during
+// pre-execution: the generator sees zeros for them, reproducing the paper's
+// mis-prediction under data dependence.
+type ghostEnv struct {
+	recorded map[string][]ext.Extent
+}
+
+func newGhostEnv() *ghostEnv {
+	return &ghostEnv{recorded: make(map[string][]ext.Extent)}
+}
+
+func (e *ghostEnv) record(file string, extents []ext.Extent) {
+	e.recorded[file] = ext.Merge(append(e.recorded[file], extents...))
+}
+
+// Value implements workloads.Env.
+func (e *ghostEnv) Value(file string, off int64) int64 {
+	for _, r := range e.recorded[file] {
+		if r.Contains(off, 1) {
+			return 0
+		}
+	}
+	return workloads.Content(file, off)
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dualpar/internal/ext"
+	"dualpar/internal/workloads"
+)
+
+// stagger is a workload where rank 0 reads immediately and the other ranks
+// compute for a long time first — the shape that forces the fill deadline
+// (a cycle must not wait forever for ranks that have not suspended).
+type stagger struct {
+	procs int
+	delay time.Duration
+}
+
+func (s stagger) Name() string { return "stagger" }
+func (s stagger) Ranks() int   { return s.procs }
+func (s stagger) Files() []workloads.FileSpec {
+	return []workloads.FileSpec{{Name: "stagger.dat", Size: 16 << 20, Precreate: true}}
+}
+func (s stagger) NewRank(r int) workloads.RankGen {
+	return &staggerGen{s: s, rank: r}
+}
+
+type staggerGen struct {
+	s       stagger
+	rank    int
+	step    int
+	delayed bool
+}
+
+func (g *staggerGen) Next(env workloads.Env) workloads.Op {
+	if g.rank != 0 && !g.delayed {
+		g.delayed = true
+		return workloads.Op{Kind: workloads.OpCompute, Dur: g.s.delay}
+	}
+	if g.step >= 4 {
+		return workloads.Op{Kind: workloads.OpDone}
+	}
+	off := int64(g.rank)*(4<<20) + int64(g.step)*(64<<10)
+	g.step++
+	return workloads.Op{
+		Kind: workloads.OpRead, File: "stagger.dat",
+		Extents: []ext64{{Off: off, Len: 64 << 10}},
+	}
+}
+
+func (g *staggerGen) Clone() workloads.RankGen {
+	cp := *g
+	return &cp
+}
+
+// extAlias keeps workload literals compact in this file.
+type extAlias = ext.Extent
+type ext64 = extAlias
+
+func TestFillDeadlineUnblocksLoneRank(t *testing.T) {
+	// Rank 0 misses at t=0; ranks 1..3 compute for a second. The cycle
+	// must serve rank 0 at the fill deadline, far before the others join.
+	cl := smallCluster(1)
+	cfg := DefaultConfig()
+	cfg.MinFillWait = 30 * time.Millisecond
+	cfg.MaxFillWait = 100 * time.Millisecond
+	r := NewRunner(cl, cfg)
+	pr := r.Add(stagger{procs: 4, delay: time.Second}, ModeDataDriven, AddOptions{RanksPerNode: 4})
+	if !r.Run(time.Hour) {
+		t.Fatalf("did not finish")
+	}
+	// Rank 0 performed its 4 reads long before the 1s compute of the rest
+	// finished: its I/O time must be well under a second.
+	if io := pr.Instr().Ranks[0].IOTime; io > 600*time.Millisecond {
+		t.Fatalf("rank 0 I/O time %v: the fill deadline did not fire", io)
+	}
+	if pr.ctrl.Cycles() == 0 {
+		t.Fatalf("no cycles ran")
+	}
+}
+
+func TestJoinGraceBatchesLockstepRanks(t *testing.T) {
+	// All ranks miss at the same instant: one cycle should cover everyone
+	// (the grace window gathers them), not one cycle per rank.
+	m := workloads.DefaultMPIIOTest()
+	m.Procs = 16
+	m.FileBytes = 4 << 20
+	m.BarrierEvery = 0
+	cl := smallCluster(1)
+	r := NewRunner(cl, DefaultConfig())
+	pr := r.Add(m, ModeDataDriven, AddOptions{RanksPerNode: 8})
+	if !r.Run(time.Hour) {
+		t.Fatalf("did not finish")
+	}
+	// 4MB file, 16 ranks x 1MB quota: everything fits in very few cycles.
+	if c := pr.ctrl.Cycles(); c > 4 {
+		t.Fatalf("cycles = %d, want few (ranks batching together)", c)
+	}
+}
+
+func TestGhostRecordsStopAtQuota(t *testing.T) {
+	// A tiny quota must bound each cycle's prefetch volume.
+	m := workloads.DefaultMPIIOTest()
+	m.Procs = 8
+	m.FileBytes = 4 << 20
+	m.BarrierEvery = 0
+	cl := smallCluster(1)
+	cfg := DefaultConfig()
+	cfg.CacheQuotaBytes = 128 << 10
+	r := NewRunner(cl, cfg)
+	pr := r.Add(m, ModeDataDriven, AddOptions{RanksPerNode: 8})
+	if !r.Run(time.Hour) {
+		t.Fatalf("did not finish")
+	}
+	// More cycles than with the 1MB default: 4MB / (8 ranks x 128KB) = 4+.
+	if c := pr.ctrl.Cycles(); c < 3 {
+		t.Fatalf("cycles = %d, want several with a 128KB quota", c)
+	}
+}
+
+func TestGhostEnvHidesRecordedReads(t *testing.T) {
+	env := newGhostEnv()
+	env.record("f", []extAlias{{Off: 100, Len: 50}})
+	if v := env.Value("f", 120); v != 0 {
+		t.Fatalf("recorded offset visible: %d", v)
+	}
+	if v := env.Value("f", 10); v == 0 {
+		t.Fatalf("unrecorded offset hidden")
+	}
+	if v := env.Value("g", 120); v == 0 {
+		t.Fatalf("other file hidden")
+	}
+}
+
+func TestCycleServesWritebackBeforePrefetch(t *testing.T) {
+	// A mixed read/write program (s3asim) must never lose dirty data even
+	// though read cycles interleave with writeback.
+	s := workloads.DefaultS3asim()
+	s.Procs = 8
+	s.Queries = 8
+	s.FragmentBytes = 1 << 20
+	cl := smallCluster(1)
+	r := NewRunner(cl, DefaultConfig())
+	r.Add(s, ModeDataDriven, AddOptions{RanksPerNode: 8})
+	if !r.Run(time.Hour) {
+		t.Fatalf("did not finish")
+	}
+	var written int64
+	for _, st := range cl.Stores {
+		written += st.BytesWritten()
+	}
+	var want int64
+	for q := 0; q < s.Queries; q++ {
+		want += s3asimResultBytes(s, q)
+	}
+	if written < want {
+		t.Fatalf("servers saw %d write bytes, want >= %d", written, want)
+	}
+}
+
+// s3asimResultBytes mirrors the workload's deterministic result size.
+func s3asimResultBytes(s workloads.S3asim, q int) int64 {
+	span := s.MaxResult - s.MinResult
+	if span <= 0 {
+		return s.MinResult
+	}
+	return s.MinResult + workloads.Content("s3asim-result", int64(q))%span
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dualpar/internal/cluster"
+	"dualpar/internal/ext"
+	"dualpar/internal/memcache"
+	"dualpar/internal/mpi"
+	"dualpar/internal/mpiio"
+	"dualpar/internal/sim"
+	"dualpar/internal/workloads"
+)
+
+// Runner executes a set of programs on a cluster, each under its own
+// execution mode, with one EMC daemon overseeing all DualPar programs.
+type Runner struct {
+	cl    *cluster.Cluster
+	cfg   Config
+	progs []*ProgramRun
+	emc   *emc
+}
+
+// NewRunner creates a runner on a cluster.
+func NewRunner(cl *cluster.Cluster, cfg Config) *Runner {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := &Runner{cl: cl, cfg: cfg}
+	r.emc = newEMC(r)
+	return r
+}
+
+// Cluster returns the underlying cluster.
+func (r *Runner) Cluster() *cluster.Cluster { return r.cl }
+
+// Config returns the DualPar configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Programs returns the registered program runs.
+func (r *Runner) Programs() []*ProgramRun { return r.progs }
+
+// EMCDecisions returns the EMC daemon's per-slot evaluation log.
+func (r *Runner) EMCDecisions() []Decision { return r.emc.Decisions }
+
+// AddOptions tunes one program's execution.
+type AddOptions struct {
+	// RanksPerNode places this many ranks per compute node (default 8).
+	RanksPerNode int
+	// FirstNodeIndex offsets the program's first compute node within the
+	// cluster's compute nodes (programs can share or use disjoint nodes).
+	FirstNodeIndex int
+	// StartAt delays the program's start.
+	StartAt time.Duration
+	// MPIIO overrides the MPI-IO hints (zero value = mpiio defaults).
+	MPIIO mpiio.Config
+}
+
+// Add registers a program with the given execution mode. Call before Run.
+func (r *Runner) Add(prog workloads.Program, mode Mode, opts AddOptions) *ProgramRun {
+	if opts.RanksPerNode <= 0 {
+		opts.RanksPerNode = 8
+	}
+	mcfg := opts.MPIIO
+	if mcfg.CollectiveBufferBytes == 0 {
+		mcfg = mpiio.DefaultConfig()
+	}
+	id := len(r.progs)
+	first := cluster.ComputeNodeBase + opts.FirstNodeIndex
+	placement := mpi.BlockPlacement(prog.Ranks(), opts.RanksPerNode, first)
+	pr := &ProgramRun{
+		r:       r,
+		id:      id,
+		prog:    prog,
+		mode:    mode,
+		startAt: opts.StartAt,
+		mpiioC:  mcfg,
+		world:   mpi.NewWorld(r.cl.K, r.cl.Net, placement),
+		instr:   mpiio.NewInstr(prog.Ranks()),
+		files:   make(map[string]*mpiio.File),
+	}
+	pr.origins = make([]int, prog.Ranks())
+	for i := range pr.origins {
+		pr.origins[i] = id*10000 + i + 1
+	}
+	pr.crmOrigin = id*10000 + 9999
+	// Distinct compute nodes hosting this program, in rank order.
+	seen := make(map[int]bool)
+	for _, n := range placement {
+		if !seen[n] {
+			seen[n] = true
+			pr.nodes = append(pr.nodes, n)
+		}
+	}
+	switch mode {
+	case ModeDataDriven:
+		pr.dataDriven = true
+		fallthrough
+	case ModeDualPar, ModeStrategy2:
+		mc := r.cfg.Memcache
+		pr.cache = memcache.New(r.cl.K, r.cl.Net, mc, pr.nodes)
+	}
+	if mode == ModeDualPar || mode == ModeDataDriven {
+		pr.ctrl = newController(pr)
+	}
+	pr.recentRankBps = 4e6 // until EMC measures real throughput
+	r.progs = append(r.progs, pr)
+	return pr
+}
+
+// Run starts every registered program and the EMC daemon, then executes the
+// simulation until all programs finish or until maxTime of virtual time
+// elapses. It reports whether everything finished.
+func (r *Runner) Run(maxTime time.Duration) bool {
+	for _, pr := range r.progs {
+		pr.start()
+	}
+	r.emc.start()
+	r.cl.K.RunUntil(maxTime)
+	for _, pr := range r.progs {
+		if !pr.Done {
+			return false
+		}
+	}
+	return true
+}
+
+// ProgramRun is one program instance under one execution mode.
+type ProgramRun struct {
+	r       *Runner
+	id      int
+	prog    workloads.Program
+	mode    Mode
+	startAt time.Duration
+	mpiioC  mpiio.Config
+	world   *mpi.World
+	instr   *mpiio.Instr
+	files   map[string]*mpiio.File
+	origins []int
+	nodes   []int
+	cache   *memcache.Cache
+	ctrl    *controller
+	s2      *strategy2
+
+	crmOrigin  int
+	dataDriven bool
+	disabled   bool // data-driven permanently disabled by mis-prefetch
+
+	// Mis-prefetch accounting (per prefetch cycle).
+	prefetchedCycle int64
+	consumedCycle   int64
+	misSamples      []float64
+
+	// Per-rank dirty bytes buffered in the data-driven cache.
+	dirtyUsed []int64
+
+	recentRankBps float64 // EMC-updated per-rank consumption rate
+
+	StartedAt time.Duration
+	EndedAt   time.Duration
+	doneRanks int
+	Done      bool
+
+	// ModeSwitches logs (time, on/off) transitions for Fig 7-style plots.
+	ModeSwitches []ModeSwitch
+}
+
+// ModeSwitch records a data-driven mode transition.
+type ModeSwitch struct {
+	At time.Duration
+	On bool
+}
+
+// Prog returns the workload.
+func (pr *ProgramRun) Prog() workloads.Program { return pr.prog }
+
+// Mode returns the configured execution mode.
+func (pr *ProgramRun) Mode() Mode { return pr.mode }
+
+// Instr returns the program's MPI-IO instrumentation.
+func (pr *ProgramRun) Instr() *mpiio.Instr { return pr.instr }
+
+// World returns the program's communicator.
+func (pr *ProgramRun) World() *mpi.World { return pr.world }
+
+// Cache returns the program's global cache (nil unless DualPar/Strategy2).
+func (pr *ProgramRun) Cache() *memcache.Cache { return pr.cache }
+
+// DataDriven reports whether the program currently runs data-driven.
+func (pr *ProgramRun) DataDriven() bool { return pr.dataDriven }
+
+// Elapsed is the program's measured execution time.
+func (pr *ProgramRun) Elapsed() time.Duration {
+	if !pr.Done {
+		return 0
+	}
+	return pr.EndedAt - pr.StartedAt
+}
+
+// MisSamples returns the recorded per-cycle mis-prefetch ratios.
+func (pr *ProgramRun) MisSamples() []float64 { return pr.misSamples }
+
+// setDataDriven flips the mode and logs the transition.
+func (pr *ProgramRun) setDataDriven(on bool) {
+	if pr.dataDriven == on {
+		return
+	}
+	pr.dataDriven = on
+	pr.ModeSwitches = append(pr.ModeSwitches, ModeSwitch{At: pr.r.cl.K.Now(), On: on})
+}
+
+// file returns (opening on demand) the program's handle for a file.
+func (pr *ProgramRun) file(name string) *mpiio.File {
+	f := pr.files[name]
+	if f == nil {
+		f = mpiio.Open(pr.world, pr.r.cl.FS, name, pr.mpiioC, pr.instr, pr.origins)
+		pr.files[name] = f
+	}
+	return f
+}
+
+// start spawns the setup proc and rank procs at startAt.
+func (pr *ProgramRun) start() {
+	k := pr.r.cl.K
+	pr.dirtyUsed = make([]int64, pr.prog.Ranks())
+	k.SpawnAt(pr.startAt, fmt.Sprintf("prog%d/setup", pr.id), func(p *sim.Proc) {
+		// Pre-create input files (layout only; the paper's files exist
+		// before the timed runs).
+		cl := pr.r.cl.FS.Client(pr.nodes[0])
+		for _, fs := range pr.prog.Files() {
+			if fs.Precreate && fs.Size > 0 {
+				cl.Create(p, fs.Name, fs.Size)
+			}
+		}
+		pr.StartedAt = p.Now()
+		for rank := 0; rank < pr.prog.Ranks(); rank++ {
+			rank := rank
+			k.Spawn(fmt.Sprintf("prog%d/rank%d", pr.id, rank), func(rp *sim.Proc) {
+				pr.rankLoop(rp, rank)
+			})
+		}
+		if pr.mode == ModeStrategy2 {
+			pr.s2 = newStrategy2(pr)
+			pr.s2.start()
+		}
+	})
+}
+
+// rankLoop drives one rank's generator to completion.
+func (pr *ProgramRun) rankLoop(p *sim.Proc, rank int) {
+	gen := pr.prog.NewRank(rank)
+	env := workloads.TrueEnv{}
+	for {
+		op := gen.Next(env)
+		switch op.Kind {
+		case workloads.OpDone:
+			pr.rankDone(p, rank)
+			return
+		case workloads.OpCompute:
+			p.Sleep(op.Dur)
+		case workloads.OpBarrier:
+			pr.world.Barrier(p, rank)
+		case workloads.OpRead:
+			pr.read(p, rank, gen, op)
+		case workloads.OpWrite:
+			pr.write(p, rank, gen, op)
+		default:
+			panic(fmt.Sprintf("core: unknown op kind %d", op.Kind))
+		}
+	}
+}
+
+func (pr *ProgramRun) rankDone(p *sim.Proc, rank int) {
+	pr.doneRanks++
+	if pr.ctrl != nil {
+		pr.ctrl.maybeServe() // the alive count just shrank
+	}
+	if pr.doneRanks == pr.prog.Ranks() {
+		// The last rank drains any data still dirty in the global cache
+		// before the program counts as finished (its cost is part of the
+		// program's write time).
+		if pr.cache != nil {
+			for pr.cache.DirtyBytes() > 0 {
+				if pr.ctrl != nil && pr.ctrl.state != ctrlIdle {
+					// A cycle is mid-flight; let it finish first.
+					myGen := pr.ctrl.gen
+					for pr.ctrl.gen == myGen {
+						pr.ctrl.resume.Wait(p)
+					}
+					continue
+				}
+				pr.crmServe(p, nil, nil)
+			}
+		}
+		pr.Done = true
+		pr.EndedAt = p.Now()
+	}
+}
+
+// read dispatches a read op according to the current mode.
+func (pr *ProgramRun) read(p *sim.Proc, rank int, gen workloads.RankGen, op workloads.Op) {
+	switch {
+	case pr.dataDriven:
+		pr.dataDrivenRead(p, rank, gen, op)
+	case pr.mode == ModeCollective:
+		pr.file(op.File).ReadExtentsAll(p, rank, op.Extents)
+	case pr.mode == ModeStrategy2:
+		pr.s2.read(p, rank, op)
+	default:
+		pr.file(op.File).ReadExtents(p, rank, op.Extents)
+	}
+}
+
+// write dispatches a write op according to the current mode.
+func (pr *ProgramRun) write(p *sim.Proc, rank int, gen workloads.RankGen, op workloads.Op) {
+	switch {
+	case pr.dataDriven:
+		pr.dataDrivenWrite(p, rank, op)
+	case pr.mode == ModeCollective:
+		pr.file(op.File).WriteExtentsAll(p, rank, op.Extents)
+	default:
+		pr.file(op.File).WriteExtents(p, rank, op.Extents)
+	}
+}
+
+// dataDrivenRead serves a read from the global cache, suspending the rank
+// and triggering a pre-execution cycle on a miss (paper §IV-C/D).
+func (pr *ProgramRun) dataDrivenRead(p *sim.Proc, rank int, gen workloads.RankGen, op workloads.Op) {
+	start := p.Now()
+	node := pr.world.Node(rank)
+	const maxCycles = 8
+	for attempt := 0; ; attempt++ {
+		missing := pr.cache.Get(p, node, op.File, op.Extents...)
+		if len(missing) == 0 {
+			pr.consumedCycle += op.Bytes()
+			pr.instr.Record(p.Now(), op.File, op.Extents)
+			pr.instr.Span(rank, start, p.Now(), op.Bytes())
+			return
+		}
+		if attempt >= maxCycles || !pr.dataDriven {
+			// Safety valve (and mode reverted mid-wait): serve the rest
+			// directly. ReadExtents accounts the bytes it fetches; the
+			// cycle waits and the cache-served portion are charged here.
+			pr.instr.Span(rank, start, p.Now(), op.Bytes()-ext.Total(missing))
+			pr.file(op.File).ReadExtents(p, rank, ext.Merge(missing))
+			return
+		}
+		pr.ctrl.waitReadCycle(p, rank, gen, op)
+	}
+}
+
+// dataDrivenWrite buffers the write in the global cache; when the rank's
+// quota fills, it joins a writeback cycle (paper §IV-D).
+func (pr *ProgramRun) dataDrivenWrite(p *sim.Proc, rank int, op workloads.Op) {
+	start := p.Now()
+	node := pr.world.Node(rank)
+	pr.cache.PutDirty(p, node, op.File, op.Extents)
+	pr.dirtyUsed[rank] += op.Bytes()
+	pr.instr.Record(p.Now(), op.File, op.Extents)
+	if pr.dirtyUsed[rank] >= pr.r.cfg.CacheQuotaBytes {
+		pr.ctrl.waitWriteback(p, rank)
+	}
+	pr.instr.Span(rank, start, p.Now(), op.Bytes())
+}

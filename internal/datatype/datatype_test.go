@@ -1,0 +1,89 @@
+package datatype
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dualpar/internal/ext"
+)
+
+func TestContiguous(t *testing.T) {
+	c := Contiguous{N: 100}
+	xs := c.Extents(50)
+	if len(xs) != 1 || xs[0] != (ext.Extent{Off: 50, Len: 100}) {
+		t.Fatalf("Extents = %v", xs)
+	}
+	if c.Size() != 100 || c.Extent() != 100 {
+		t.Fatalf("Size/Extent = %d/%d", c.Size(), c.Extent())
+	}
+	zero := Contiguous{}
+	if zero.Size() != 0 || len(zero.Extents(0)) != 0 {
+		t.Fatalf("zero contiguous not empty")
+	}
+}
+
+func TestVector(t *testing.T) {
+	v := Vector{Count: 3, BlockLen: 4, Stride: 10}
+	xs := v.Extents(100)
+	want := []ext.Extent{{Off: 100, Len: 4}, {Off: 110, Len: 4}, {Off: 120, Len: 4}}
+	if len(xs) != 3 {
+		t.Fatalf("Extents = %v", xs)
+	}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("Extents = %v, want %v", xs, want)
+		}
+	}
+	if v.Size() != 12 {
+		t.Fatalf("Size = %d, want 12", v.Size())
+	}
+	if v.Extent() != 24 {
+		t.Fatalf("Extent = %d, want 24 (2*10+4)", v.Extent())
+	}
+}
+
+func TestVectorDenseMergesToContiguous(t *testing.T) {
+	v := Vector{Count: 4, BlockLen: 10, Stride: 10}
+	xs := v.Extents(0)
+	if len(xs) != 1 || xs[0] != (ext.Extent{Off: 0, Len: 40}) {
+		t.Fatalf("dense vector = %v, want single extent", xs)
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	x := Indexed{Disps: []int64{0, 100, 50}, Lens: []int64{10, 10, 10}}
+	xs := x.Extents(1000)
+	want := []ext.Extent{{Off: 1000, Len: 10}, {Off: 1050, Len: 10}, {Off: 1100, Len: 10}}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("Extents = %v, want %v", xs, want)
+		}
+	}
+	if x.Size() != 30 || x.Extent() != 110 {
+		t.Fatalf("Size/Extent = %d/%d", x.Size(), x.Extent())
+	}
+}
+
+func TestIndexedMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Indexed{Disps: []int64{0}, Lens: []int64{1, 2}}.Extents(0)
+}
+
+// Property: the total of Extents equals Size for vectors without overlap.
+func TestVectorSizeMatchesExtents(t *testing.T) {
+	f := func(count, block uint8, extra uint8) bool {
+		v := Vector{
+			Count:    int64(count%16) + 1,
+			BlockLen: int64(block%64) + 1,
+		}
+		v.Stride = v.BlockLen + int64(extra%64) // stride >= blocklen: no overlap
+		return ext.Total(v.Extents(12345)) == v.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"dualpar/internal/sim"
+)
+
+// RAID0 stripes a logical LBN space across member disks in fixed-size
+// chunks, serving the per-member portions of an access in parallel (the
+// access completes when the slowest member does). The paper's data servers
+// each have a two-drive hardware RAID.
+type RAID0 struct {
+	members      []*Disk
+	chunkSectors int64
+	sectors      int64
+	stats        Stats
+	trace        *Trace
+}
+
+// NewRAID0 builds a RAID0 over members with the given chunk size in sectors.
+func NewRAID0(members []*Disk, chunkSectors int64) *RAID0 {
+	if len(members) == 0 {
+		panic("disk: RAID0 needs at least one member")
+	}
+	if chunkSectors <= 0 {
+		panic("disk: RAID0 chunk must be positive")
+	}
+	min := members[0].Sectors()
+	for _, m := range members {
+		if m.Sectors() < min {
+			min = m.Sectors()
+		}
+	}
+	return &RAID0{
+		members:      members,
+		chunkSectors: chunkSectors,
+		sectors:      min * int64(len(members)),
+	}
+}
+
+// EnableTrace turns on logical-address tracing (addresses are in the RAID's
+// logical LBN space, matching what blktrace reports for an md/hardware RAID
+// block device).
+func (r *RAID0) EnableTrace() *Trace {
+	r.trace = &Trace{sectorSize: r.members[0].Params().SectorSize}
+	return r.trace
+}
+
+// Sectors implements Device.
+func (r *RAID0) Sectors() int64 { return r.sectors }
+
+// Stats implements Device.
+func (r *RAID0) Stats() Stats {
+	// Aggregate member counters but preserve RAID-level access count.
+	agg := r.stats
+	for _, m := range r.members {
+		s := m.Stats()
+		agg.Seeks += s.Seeks
+		agg.SeekSectors += s.SeekSectors
+		agg.BytesRead += s.BytesRead
+		agg.BytesWritten += s.BytesWritten
+	}
+	return agg
+}
+
+// Trace implements Device.
+func (r *RAID0) Trace() *Trace { return r.trace }
+
+// Access implements Device: the logical range is split into per-member runs
+// and the service time is the maximum of the member times, as the members
+// operate concurrently.
+func (r *RAID0) Access(p *sim.Proc, lbn, sectors int64, write bool) time.Duration {
+	if lbn < 0 || sectors <= 0 || lbn+sectors > r.sectors {
+		panic(fmt.Sprintf("disk: RAID0 access [%d,%d) outside %d sectors", lbn, lbn+sectors, r.sectors))
+	}
+	n := int64(len(r.members))
+	var worst time.Duration
+	// Walk the logical range chunk by chunk, accumulating a contiguous run
+	// per member, then charge each member its run in one operation.
+	type run struct {
+		lbn, sectors int64
+		active       bool
+	}
+	runs := make([]run, n)
+	flush := func(i int64) {
+		if !runs[i].active {
+			return
+		}
+		t := r.members[i].serve(runs[i].lbn, runs[i].sectors, write)
+		if t > worst {
+			worst = t
+		}
+		runs[i].active = false
+	}
+	for off := lbn; off < lbn+sectors; {
+		chunk := off / r.chunkSectors
+		member := chunk % n
+		mlbn := (chunk/n)*r.chunkSectors + off%r.chunkSectors
+		span := r.chunkSectors - off%r.chunkSectors
+		if rem := lbn + sectors - off; span > rem {
+			span = rem
+		}
+		ru := &runs[member]
+		if ru.active && ru.lbn+ru.sectors == mlbn {
+			ru.sectors += span
+		} else {
+			flush(member)
+			*ru = run{lbn: mlbn, sectors: span, active: true}
+		}
+		off += span
+	}
+	for i := int64(0); i < n; i++ {
+		flush(i)
+	}
+	r.stats.Accesses++
+	r.stats.BusyTime += worst
+	if r.trace != nil {
+		r.trace.add(Entry{At: p.Now(), LBN: lbn, Sectors: sectors, Write: write})
+	}
+	p.Sleep(worst)
+	return worst
+}
+
+// serve performs a member access without a Proc (time is accounted by the
+// RAID wrapper). It mirrors Disk.Access's bookkeeping.
+func (d *Disk) serve(lbn, sectors int64, write bool) time.Duration {
+	t := d.ServiceTime(lbn, sectors)
+	dist := lbn - d.head
+	if dist < 0 {
+		dist = -dist
+	}
+	d.stats.Accesses++
+	d.stats.SeekSectors += dist
+	if dist == 0 {
+		d.stats.SequentialRun++
+	} else {
+		d.stats.Seeks++
+	}
+	bytes := sectors * int64(d.params.SectorSize)
+	if write {
+		d.stats.BytesWritten += bytes
+	} else {
+		d.stats.BytesRead += bytes
+	}
+	d.stats.BusyTime += t
+	d.head = lbn + sectors
+	return t
+}

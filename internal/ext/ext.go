@@ -1,0 +1,161 @@
+// Package ext provides byte-extent math shared by the datatype, file
+// system, MPI-IO, and DualPar layers: sorting, coalescing, and hole-filling
+// of (offset, length) ranges. DualPar's CRM (paper §IV-D) is built on these
+// operations: requests from all processes are sorted by file offset,
+// adjacent requests merged, and small holes absorbed to form large
+// contiguous requests.
+package ext
+
+import "sort"
+
+// Extent is a half-open byte range [Off, Off+Len) within a file.
+type Extent struct {
+	Off int64
+	Len int64
+}
+
+// End returns the first byte after the extent.
+func (e Extent) End() int64 { return e.Off + e.Len }
+
+// Overlaps reports whether e and o share any byte.
+func (e Extent) Overlaps(o Extent) bool {
+	return e.Off < o.End() && o.Off < e.End()
+}
+
+// Contains reports whether e covers [off, off+n).
+func (e Extent) Contains(off, n int64) bool {
+	return off >= e.Off && off+n <= e.End()
+}
+
+// Clip returns the intersection of e with [lo, hi).
+func (e Extent) Clip(lo, hi int64) (Extent, bool) {
+	o, n := e.Off, e.End()
+	if o < lo {
+		o = lo
+	}
+	if n > hi {
+		n = hi
+	}
+	if o >= n {
+		return Extent{}, false
+	}
+	return Extent{Off: o, Len: n - o}, true
+}
+
+// Sort orders extents by offset (stable for equal offsets).
+func Sort(xs []Extent) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i].Off < xs[j].Off })
+}
+
+// Total returns the summed length.
+func Total(xs []Extent) int64 {
+	var t int64
+	for _, e := range xs {
+		t += e.Len
+	}
+	return t
+}
+
+// Merge sorts a copy of xs and coalesces overlapping or exactly adjacent
+// extents. Zero-length extents are dropped.
+func Merge(xs []Extent) []Extent {
+	return MergeWithHoles(xs, 0)
+}
+
+// MergeWithHoles sorts a copy of xs and coalesces extents whose gap is at
+// most maxHole bytes, absorbing the hole into the result (the paper fills
+// small unrequested holes to form larger requests; for writes the holes are
+// first read back, which the caller accounts for with Holes). Zero-length
+// extents are dropped.
+func MergeWithHoles(xs []Extent, maxHole int64) []Extent {
+	cp := make([]Extent, 0, len(xs))
+	for _, e := range xs {
+		if e.Len > 0 {
+			cp = append(cp, e)
+		}
+	}
+	if len(cp) == 0 {
+		return nil
+	}
+	Sort(cp)
+	out := cp[:1]
+	for _, e := range cp[1:] {
+		last := &out[len(out)-1]
+		if e.Off <= last.End()+maxHole {
+			if e.End() > last.End() {
+				last.Len = e.End() - last.Off
+			}
+		} else {
+			out = append(out, e)
+		}
+	}
+	return append([]Extent(nil), out...)
+}
+
+// Holes returns the gaps within merged that are not covered by any extent
+// of xs. merged must come from MergeWithHoles(xs, ...) (i.e., cover xs).
+func Holes(xs, merged []Extent) []Extent {
+	covered := Merge(xs)
+	var holes []Extent
+	i := 0
+	for _, m := range merged {
+		pos := m.Off
+		for i < len(covered) && covered[i].End() <= m.Off {
+			i++
+		}
+		j := i
+		for j < len(covered) && covered[j].Off < m.End() {
+			c := covered[j]
+			if c.Off > pos {
+				holes = append(holes, Extent{Off: pos, Len: c.Off - pos})
+			}
+			if c.End() > pos {
+				pos = c.End()
+			}
+			j++
+		}
+		if pos < m.End() {
+			holes = append(holes, Extent{Off: pos, Len: m.End() - pos})
+		}
+	}
+	return holes
+}
+
+// AlignTo expands each extent outward to unit boundaries and re-merges the
+// result (DualPar aligns cache fills to the 64 KB stripe chunk).
+func AlignTo(xs []Extent, unit int64) []Extent {
+	if unit <= 1 {
+		return Merge(xs)
+	}
+	cp := make([]Extent, 0, len(xs))
+	for _, e := range xs {
+		if e.Len <= 0 {
+			continue
+		}
+		lo := e.Off / unit * unit
+		hi := (e.End() + unit - 1) / unit * unit
+		cp = append(cp, Extent{Off: lo, Len: hi - lo})
+	}
+	return Merge(cp)
+}
+
+// SplitAt chops extents at multiples of unit, yielding pieces that each lie
+// within a single unit-sized block (used for chunk-granular caching).
+func SplitAt(xs []Extent, unit int64) []Extent {
+	if unit <= 0 {
+		panic("ext: non-positive unit")
+	}
+	var out []Extent
+	for _, e := range xs {
+		for e.Len > 0 {
+			room := unit - e.Off%unit
+			if room > e.Len {
+				room = e.Len
+			}
+			out = append(out, Extent{Off: e.Off, Len: room})
+			e.Off += room
+			e.Len -= room
+		}
+	}
+	return out
+}

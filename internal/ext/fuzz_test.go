@@ -1,0 +1,56 @@
+package ext
+
+import "testing"
+
+// FuzzMergeWithHoles checks the extent algebra's invariants under arbitrary
+// inputs: merged output is sorted and disjoint, covers the input, and hole
+// accounting balances exactly.
+func FuzzMergeWithHoles(f *testing.F) {
+	f.Add(int64(0), int64(10), int64(12), int64(4), int64(2))
+	f.Add(int64(100), int64(1), int64(50), int64(100), int64(0))
+	f.Add(int64(5), int64(0), int64(5), int64(5), int64(64))
+	f.Fuzz(func(t *testing.T, aOff, aLen, bOff, bLen, hole int64) {
+		clamp := func(v int64) int64 {
+			if v < 0 {
+				v = -v
+			}
+			return v % (1 << 40)
+		}
+		xs := []Extent{
+			{Off: clamp(aOff), Len: clamp(aLen)},
+			{Off: clamp(bOff), Len: clamp(bLen)},
+		}
+		maxHole := clamp(hole)
+		merged := MergeWithHoles(xs, maxHole)
+		for i := 1; i < len(merged); i++ {
+			if merged[i].Off <= merged[i-1].End()+maxHole {
+				t.Fatalf("gap <= maxHole survived: %v (hole %d)", merged, maxHole)
+			}
+		}
+		// Coverage: every input byte range must lie inside some output.
+		for _, e := range xs {
+			if e.Len == 0 {
+				continue
+			}
+			covered := false
+			for _, m := range merged {
+				if m.Contains(e.Off, e.Len) {
+					covered = true
+				}
+			}
+			if !covered {
+				t.Fatalf("input %v not covered by %v", e, merged)
+			}
+		}
+		// Accounting: merged = covered + holes.
+		holes := Holes(xs, merged)
+		if Total(merged) != Total(Merge(xs))+Total(holes) {
+			t.Fatalf("accounting broken: merged %d != covered %d + holes %d",
+				Total(merged), Total(Merge(xs)), Total(holes))
+		}
+		// Chunk splitting conserves bytes.
+		if pieces := SplitAt(merged, 64<<10); Total(pieces) != Total(merged) {
+			t.Fatalf("SplitAt lost bytes")
+		}
+	})
+}

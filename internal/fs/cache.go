@@ -1,0 +1,129 @@
+package fs
+
+import (
+	"container/list"
+
+	"dualpar/internal/sim"
+)
+
+// pageKey identifies one page of one file.
+type pageKey struct {
+	file string
+	idx  int64
+}
+
+// cachePage is a resident page. It sits either on the clean LRU list or on
+// the dirty FIFO (in first-dirtied order, which the flusher honors like the
+// kernel's per-inode dirty time ordering).
+type cachePage struct {
+	file  string
+	idx   int64
+	dirty bool
+	el    *list.Element
+}
+
+// pageCache tracks residency and dirtiness; it stores no data.
+type pageCache struct {
+	k          *sim.Kernel
+	cfg        Config
+	pages      map[pageKey]*cachePage
+	clean      *list.List // *cachePage, front = least recently used
+	dirty      *list.List // *cachePage, front = oldest dirty
+	dirtyBytes int64
+
+	// kick wakes the flusher early; cleaned signals writers/evicters that
+	// pages became clean.
+	kick    *sim.Signal
+	cleaned *sim.Signal
+}
+
+func newPageCache(k *sim.Kernel, cfg Config) *pageCache {
+	return &pageCache{
+		k:       k,
+		cfg:     cfg,
+		pages:   make(map[pageKey]*cachePage),
+		clean:   list.New(),
+		dirty:   list.New(),
+		kick:    k.NewSignal(),
+		cleaned: k.NewSignal(),
+	}
+}
+
+func (c *pageCache) resident(file string, idx int64) bool {
+	_, ok := c.pages[pageKey{file, idx}]
+	return ok
+}
+
+// touch reports whether the page is resident, refreshing its LRU position.
+func (c *pageCache) touch(file string, idx int64) bool {
+	pg, ok := c.pages[pageKey{file, idx}]
+	if !ok {
+		return false
+	}
+	if !pg.dirty {
+		c.clean.MoveToBack(pg.el)
+	}
+	return true
+}
+
+// insertClean makes the page resident and clean, evicting LRU clean pages
+// as needed. If the cache is entirely dirty, the caller blocks until the
+// flusher makes room.
+func (c *pageCache) insertClean(p *sim.Proc, file string, idx int64) {
+	key := pageKey{file, idx}
+	if pg, ok := c.pages[key]; ok {
+		if !pg.dirty {
+			c.clean.MoveToBack(pg.el)
+		}
+		return
+	}
+	c.makeRoom(p)
+	pg := &cachePage{file: file, idx: idx}
+	pg.el = c.clean.PushBack(pg)
+	c.pages[key] = pg
+}
+
+// insertDirty makes the page resident and dirty.
+func (c *pageCache) insertDirty(p *sim.Proc, file string, idx int64) {
+	key := pageKey{file, idx}
+	if pg, ok := c.pages[key]; ok {
+		if !pg.dirty {
+			c.clean.Remove(pg.el)
+			pg.dirty = true
+			pg.el = c.dirty.PushBack(pg)
+			c.dirtyBytes += int64(c.cfg.PageSize)
+		}
+		return
+	}
+	c.makeRoom(p)
+	pg := &cachePage{file: file, idx: idx, dirty: true}
+	pg.el = c.dirty.PushBack(pg)
+	c.pages[key] = pg
+	c.dirtyBytes += int64(c.cfg.PageSize)
+}
+
+// makeRoom evicts clean LRU pages until one more page fits; if everything
+// is dirty it kicks the flusher and waits.
+func (c *pageCache) makeRoom(p *sim.Proc) {
+	capPages := c.cfg.CacheBytes / int64(c.cfg.PageSize)
+	for int64(len(c.pages)) >= capPages {
+		if c.clean.Len() > 0 {
+			victim := c.clean.Remove(c.clean.Front()).(*cachePage)
+			delete(c.pages, pageKey{victim.file, victim.idx})
+			continue
+		}
+		c.kick.Broadcast()
+		c.cleaned.Wait(p)
+	}
+}
+
+// markClean moves a flushed page from the dirty list to the clean LRU.
+func (c *pageCache) markClean(pg *cachePage) {
+	if !pg.dirty {
+		return
+	}
+	c.dirty.Remove(pg.el)
+	pg.dirty = false
+	pg.el = c.clean.PushBack(pg)
+	c.dirtyBytes -= int64(c.cfg.PageSize)
+}

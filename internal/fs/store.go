@@ -1,0 +1,465 @@
+// Package fs models a data server's local storage stack: an extent
+// allocator laying file data out on the disk's LBN space, a page cache with
+// dirty-page writeback (the paper forces a 1-second flush), and an
+// I/O-scheduler dispatcher in front of the device.
+//
+// Only metadata is stored — file contents are never materialized. Workload
+// data dependence is modeled at the workload layer as deterministic
+// functions of file offsets, so the storage stack tracks extents, residency,
+// and time, not bytes.
+package fs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dualpar/internal/disk"
+	"dualpar/internal/ext"
+	"dualpar/internal/iosched"
+	"dualpar/internal/sim"
+)
+
+// Config tunes one server's storage stack.
+type Config struct {
+	PageSize int // bytes; kernel page size
+
+	// CacheBytes is the page-cache capacity. DirtyLimitBytes throttles
+	// writers: a write blocks while dirty bytes exceed it (like
+	// dirty_ratio).
+	CacheBytes      int64
+	DirtyLimitBytes int64
+
+	// WritebackEvery is the periodic flush interval (the paper forces 1 s).
+	// WritebackBatchBytes bounds one flush submission.
+	WritebackEvery      time.Duration
+	WritebackBatchBytes int64
+
+	// SyncWrites makes writes durable before acknowledgment (PVFS2's Trove
+	// syncs data per operation); the page cache then only serves reads.
+	SyncWrites bool
+
+	// AllocUnitBytes is the extent-allocation granularity: a growing file
+	// claims this much contiguous LBN space at a time. FileGapBytes leaves
+	// a gap between allocations of different files, separating their disk
+	// regions as on a real aged file system.
+	AllocUnitBytes int64
+	FileGapBytes   int64
+
+	// ReadAheadBytes, when positive, extends a missed read run forward by
+	// up to this much within the same extent (kernel readahead analogue).
+	ReadAheadBytes int64
+
+	// MemBandwidth models page-cache copy cost, bytes/second.
+	MemBandwidth float64
+}
+
+// DefaultConfig returns a configuration approximating the paper's data
+// servers (with scaled cache).
+func DefaultConfig() Config {
+	return Config{
+		PageSize:            4096,
+		CacheBytes:          256 << 20,
+		DirtyLimitBytes:     64 << 20,
+		WritebackEvery:      time.Second,
+		WritebackBatchBytes: 8 << 20,
+		SyncWrites:          true,
+		AllocUnitBytes:      8 << 20,
+		FileGapBytes:        16 << 20,
+		ReadAheadBytes:      0,
+		MemBandwidth:        4e9,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.PageSize <= 0:
+		return fmt.Errorf("fs: PageSize %d", c.PageSize)
+	case c.CacheBytes < int64(c.PageSize):
+		return fmt.Errorf("fs: CacheBytes %d", c.CacheBytes)
+	case c.DirtyLimitBytes <= 0 || c.DirtyLimitBytes > c.CacheBytes:
+		return fmt.Errorf("fs: DirtyLimitBytes %d", c.DirtyLimitBytes)
+	case c.WritebackEvery <= 0:
+		return fmt.Errorf("fs: WritebackEvery %v", c.WritebackEvery)
+	case c.WritebackBatchBytes < int64(c.PageSize):
+		return fmt.Errorf("fs: WritebackBatchBytes %d", c.WritebackBatchBytes)
+	case c.AllocUnitBytes < int64(c.PageSize):
+		return fmt.Errorf("fs: AllocUnitBytes %d", c.AllocUnitBytes)
+	case c.FileGapBytes < 0:
+		return fmt.Errorf("fs: FileGapBytes %d", c.FileGapBytes)
+	case c.ReadAheadBytes < 0:
+		return fmt.Errorf("fs: ReadAheadBytes %d", c.ReadAheadBytes)
+	case c.MemBandwidth <= 0:
+		return fmt.Errorf("fs: MemBandwidth %g", c.MemBandwidth)
+	}
+	return nil
+}
+
+// extent maps a contiguous file range to contiguous LBNs.
+type extent struct {
+	fileOff int64 // byte offset in the (server-local) file
+	lbn     int64
+	bytes   int64
+}
+
+type fileMeta struct {
+	name    string
+	size    int64 // bytes allocated (high-water of writes/creates)
+	extents []extent
+}
+
+// Store is one data server's local storage.
+type Store struct {
+	k      *sim.Kernel
+	cfg    Config
+	dev    disk.Device
+	disp   *iosched.Dispatcher
+	files  map[string]*fileMeta
+	nexts  int64 // next free sector for allocation
+	cache  *pageCache
+	wbOrig int // origin id used by the flusher
+
+	statReadBytes  int64
+	statWriteBytes int64
+	statCacheHits  int64
+	statCacheMiss  int64
+}
+
+// New creates a store over dev with the given elevator algorithm. name is
+// used for the dispatcher Proc. wbOrigin must be an origin id unique to this
+// store's flusher.
+func New(k *sim.Kernel, name string, dev disk.Device, alg iosched.Algorithm, cfg Config, wbOrigin int) *Store {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Store{
+		k:      k,
+		cfg:    cfg,
+		dev:    dev,
+		disp:   iosched.NewDispatcher(k, name+"/dispatch", dev, alg),
+		files:  make(map[string]*fileMeta),
+		wbOrig: wbOrigin,
+	}
+	s.cache = newPageCache(k, cfg)
+	if !cfg.SyncWrites {
+		k.Spawn(name+"/flusher", s.flusherLoop)
+	}
+	return s
+}
+
+// Device returns the underlying device (for stats and traces).
+func (s *Store) Device() disk.Device { return s.dev }
+
+// Dispatcher returns the store's block-layer dispatcher.
+func (s *Store) Dispatcher() *iosched.Dispatcher { return s.disp }
+
+// BytesRead and BytesWritten report cumulative request volume served by this
+// store (cache hits included).
+func (s *Store) BytesRead() int64    { return s.statReadBytes }
+func (s *Store) BytesWritten() int64 { return s.statWriteBytes }
+
+// CacheHitPages and CacheMissPages report read-path page hit/miss counts.
+func (s *Store) CacheHitPages() int64  { return s.statCacheHits }
+func (s *Store) CacheMissPages() int64 { return s.statCacheMiss }
+
+// Create allocates layout for a file of the given size, laying its extents
+// contiguously. Creating an existing file extends it if size is larger.
+func (s *Store) Create(name string, size int64) {
+	f := s.file(name)
+	s.ensureAllocated(f, size)
+}
+
+// FileSize reports the allocated size of a file (0 if absent).
+func (s *Store) FileSize(name string) int64 {
+	if f, ok := s.files[name]; ok {
+		return f.size
+	}
+	return 0
+}
+
+func (s *Store) file(name string) *fileMeta {
+	f := s.files[name]
+	if f == nil {
+		f = &fileMeta{name: name}
+		s.files[name] = f
+		// Leave a gap before a new file's region.
+		s.nexts += s.cfg.FileGapBytes / int64(sectorSize)
+	}
+	return f
+}
+
+const sectorSize = 512
+
+// ensureAllocated extends f's extents to cover [0, size).
+func (s *Store) ensureAllocated(f *fileMeta, size int64) {
+	for f.size < size {
+		need := size - f.size
+		unit := s.cfg.AllocUnitBytes
+		if need > unit {
+			unit = (need + s.cfg.AllocUnitBytes - 1) / s.cfg.AllocUnitBytes * s.cfg.AllocUnitBytes
+		}
+		sectors := unit / sectorSize
+		// Merge with the previous extent when the allocation is adjacent
+		// (no other file claimed space in between).
+		if n := len(f.extents); n > 0 {
+			last := &f.extents[n-1]
+			if last.lbn+last.bytes/sectorSize == s.nexts {
+				last.bytes += unit
+				f.size += unit
+				s.nexts += sectors
+				continue
+			}
+		}
+		f.extents = append(f.extents, extent{fileOff: f.size, lbn: s.nexts, bytes: unit})
+		f.size += unit
+		s.nexts += sectors
+	}
+}
+
+// runs maps the byte range [off, off+n) of file f to contiguous LBN runs.
+func (f *fileMeta) runs(off, n int64) []lbnRun {
+	var out []lbnRun
+	end := off + n
+	for _, e := range f.extents {
+		eEnd := e.fileOff + e.bytes
+		if eEnd <= off || e.fileOff >= end {
+			continue
+		}
+		lo, hi := off, end
+		if lo < e.fileOff {
+			lo = e.fileOff
+		}
+		if hi > eEnd {
+			hi = eEnd
+		}
+		out = append(out, lbnRun{
+			lbn:   e.lbn + (lo-e.fileOff)/sectorSize,
+			bytes: hi - lo,
+		})
+	}
+	return out
+}
+
+type lbnRun struct {
+	lbn   int64
+	bytes int64
+}
+
+// Read serves a read of [off, off+n) of file name for the given origin,
+// charging p the full service time (cache copies plus any disk I/O).
+func (s *Store) Read(p *sim.Proc, name string, off, n int64, origin int) {
+	s.ReadMulti(p, name, []ext.Extent{{Off: off, Len: n}}, origin)
+}
+
+// ReadMulti serves a list-I/O read: all disk requests for all extents are
+// submitted together (so the elevator sees the whole batch) and p blocks
+// until the last completes.
+func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin int) {
+	n := ext.Total(extents)
+	if n <= 0 {
+		return
+	}
+	f := s.file(name)
+	s.statReadBytes += n
+
+	ps := int64(s.cfg.PageSize)
+	var missRuns [][2]int64 // page index ranges [start, end]
+	for _, e := range extents {
+		if e.Len <= 0 {
+			continue
+		}
+		s.ensureAllocated(f, e.End()) // reading unwritten space still has layout
+		first, last := e.Off/ps, (e.End()-1)/ps
+		for pg := first; pg <= last; pg++ {
+			if s.cache.touch(name, pg) {
+				s.statCacheHits++
+				continue
+			}
+			s.statCacheMiss++
+			// Mark the page resident immediately so overlapping concurrent
+			// readers do not duplicate the fetch. (A real kernel would make
+			// them wait on the page lock; we let them proceed, a harmless
+			// optimism since the benchmarks do not share read data.)
+			s.cache.insertClean(p, name, pg)
+			if len(missRuns) > 0 && missRuns[len(missRuns)-1][1] == pg-1 {
+				missRuns[len(missRuns)-1][1] = pg
+			} else {
+				missRuns = append(missRuns, [2]int64{pg, pg})
+			}
+		}
+	}
+	// Charge memory-copy time for the whole transfer.
+	p.Sleep(time.Duration(float64(n) / s.cfg.MemBandwidth * float64(time.Second)))
+
+	if len(missRuns) == 0 {
+		return
+	}
+	var reqs []*iosched.Request
+	for _, run := range missRuns {
+		startOff := run[0] * ps
+		endOff := (run[1] + 1) * ps
+		if s.cfg.ReadAheadBytes > 0 {
+			extra := s.cfg.ReadAheadBytes
+			for pg := run[1] + 1; extra > 0 && pg*ps < f.size; pg++ {
+				if s.cache.resident(name, pg) {
+					break
+				}
+				s.cache.insertClean(p, name, pg)
+				endOff = (pg + 1) * ps
+				extra -= ps
+			}
+		}
+		if endOff > f.size {
+			endOff = f.size
+		}
+		for _, lr := range f.runs(startOff, endOff-startOff) {
+			reqs = appendSplit(reqs, lr, false, origin)
+		}
+	}
+	for _, r := range reqs {
+		s.disp.Enqueue(r)
+	}
+	for _, r := range reqs {
+		s.disp.Wait(p, r)
+	}
+}
+
+// Write serves a write of [off, off+n). With SyncWrites the data reaches the
+// device before Write returns; otherwise pages are dirtied in the cache and
+// the writer is throttled only above the dirty limit.
+func (s *Store) Write(p *sim.Proc, name string, off, n int64, origin int) {
+	s.WriteMulti(p, name, []ext.Extent{{Off: off, Len: n}}, origin)
+}
+
+// WriteMulti serves a list-I/O write; see ReadMulti for batching semantics.
+func (s *Store) WriteMulti(p *sim.Proc, name string, extents []ext.Extent, origin int) {
+	n := ext.Total(extents)
+	if n <= 0 {
+		return
+	}
+	f := s.file(name)
+	s.statWriteBytes += n
+	p.Sleep(time.Duration(float64(n) / s.cfg.MemBandwidth * float64(time.Second)))
+
+	if s.cfg.SyncWrites {
+		var reqs []*iosched.Request
+		for _, e := range extents {
+			if e.Len <= 0 {
+				continue
+			}
+			s.ensureAllocated(f, e.End())
+			for _, lr := range f.runs(e.Off, e.Len) {
+				reqs = appendSplit(reqs, lr, true, origin)
+			}
+		}
+		for _, r := range reqs {
+			s.disp.Enqueue(r)
+		}
+		for _, r := range reqs {
+			s.disp.Wait(p, r)
+		}
+		return
+	}
+
+	ps := int64(s.cfg.PageSize)
+	for _, e := range extents {
+		if e.Len <= 0 {
+			continue
+		}
+		s.ensureAllocated(f, e.End())
+		first, last := e.Off/ps, (e.End()-1)/ps
+		for pg := first; pg <= last; pg++ {
+			s.cache.insertDirty(p, name, pg)
+		}
+	}
+	// Throttle while over the dirty limit.
+	for s.cache.dirtyBytes > s.cfg.DirtyLimitBytes {
+		s.cache.kick.Broadcast()
+		s.cache.cleaned.Wait(p)
+	}
+}
+
+// Sync flushes all dirty pages and blocks p until done. With SyncWrites it
+// is a no-op.
+func (s *Store) Sync(p *sim.Proc) {
+	for s.cache.dirty.Len() > 0 {
+		s.cache.kick.Broadcast()
+		s.cache.cleaned.Wait(p)
+	}
+}
+
+// DirtyBytes reports the current dirty page volume.
+func (s *Store) DirtyBytes() int64 { return s.cache.dirtyBytes }
+
+// flusherLoop writes dirty pages back: every WritebackEvery, or immediately
+// when kicked (dirty limit exceeded), it drains the dirty list in
+// LBN-sorted batches of at most WritebackBatchBytes.
+func (s *Store) flusherLoop(p *sim.Proc) {
+	for {
+		if s.cache.dirty.Len() == 0 {
+			s.cache.kick.WaitTimeout(p, s.cfg.WritebackEvery)
+			continue
+		}
+		s.flushOnce(p)
+		s.cache.cleaned.Broadcast()
+	}
+}
+
+// flushOnce writes back the oldest dirty pages, up to one batch.
+func (s *Store) flushOnce(p *sim.Proc) {
+	ps := int64(s.cfg.PageSize)
+	var pages []*cachePage
+	var bytes int64
+	for e := s.cache.dirty.Front(); e != nil && bytes < s.cfg.WritebackBatchBytes; e = e.Next() {
+		pages = append(pages, e.Value.(*cachePage))
+		bytes += ps
+	}
+	// Coalesce per-file page runs into write requests, then sort by LBN.
+	sort.Slice(pages, func(i, j int) bool {
+		if pages[i].file != pages[j].file {
+			return pages[i].file < pages[j].file
+		}
+		return pages[i].idx < pages[j].idx
+	})
+	var reqs []*iosched.Request
+	i := 0
+	for i < len(pages) {
+		j := i
+		for j+1 < len(pages) && pages[j+1].file == pages[i].file && pages[j+1].idx == pages[j].idx+1 {
+			j++
+		}
+		f := s.file(pages[i].file)
+		for _, lr := range f.runs(pages[i].idx*ps, int64(j-i+1)*ps) {
+			reqs = appendSplit(reqs, lr, true, s.wbOrig)
+		}
+		i = j + 1
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].LBN < reqs[j].LBN })
+	for _, r := range reqs {
+		s.disp.Enqueue(r)
+	}
+	for _, r := range reqs {
+		s.disp.Wait(p, r)
+	}
+	for _, pg := range pages {
+		s.cache.markClean(pg)
+	}
+}
+
+// appendSplit turns one contiguous LBN run into block-layer requests,
+// splitting at the request size cap (max_sectors) like the kernel does.
+func appendSplit(reqs []*iosched.Request, lr lbnRun, write bool, origin int) []*iosched.Request {
+	lbn := lr.lbn
+	sectors := (lr.bytes + sectorSize - 1) / sectorSize
+	for sectors > 0 {
+		n := sectors
+		if n > iosched.MaxMergeSectors {
+			n = iosched.MaxMergeSectors
+		}
+		reqs = append(reqs, &iosched.Request{LBN: lbn, Sectors: n, Write: write, Origin: origin})
+		lbn += n
+		sectors -= n
+	}
+	return reqs
+}

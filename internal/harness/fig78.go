@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"dualpar/internal/core"
+	"dualpar/internal/metrics"
+	"dualpar/internal/workloads"
+)
+
+// Fig7 regenerates Figure 7: mpi-io-test runs alone, hpio joins mid-run;
+// with DualPar the EMC detects the interference-induced efficiency drop and
+// switches both programs to data-driven mode, raising throughput and
+// cutting seek distances. The result carries throughput and seek-distance
+// time series for vanilla and DualPar runs plus the mode-switch log.
+func Fig7(o Opts) *Result {
+	res := &Result{
+		ID:    "fig7",
+		Title: "Fig 7: varying workload — hpio joins a running mpi-io-test",
+		Table: &metrics.Table{Header: []string{"scheme", "before_join_MB/s", "after_join_MB/s", "after_seek_sectors", "switched"}},
+	}
+	res.note("paper: alone ~178 MB/s in both; after hpio joins, vanilla drops from interference while DualPar recovers +46%% and seeks shrink")
+
+	size := int64(192 << 20)
+	hpioRegions := int64(3072)
+	if o.Quick {
+		size = 32 << 20
+		hpioRegions = 512
+	}
+	for _, sch := range []struct {
+		label string
+		mode  core.Mode
+	}{{"vanilla", core.ModeVanilla}, {"dualpar", core.ModeDualPar}} {
+		m := workloads.DefaultMPIIOTest()
+		m.FileBytes = size
+		m.FileName = "fig7-mpiio.dat"
+		m.BarrierEvery = 8 // mpi-io-test syncs, but not so often that the scaled run stops being I/O bound
+		h := workloads.DefaultHPIO()
+		h.RegionCount = hpioRegions
+		h.FileName = "fig7-hpio.dat"
+
+		// Estimate the join time as ~40% of the solo run; the paper joins
+		// at the 50th second of a ~150 s run. The EMC slot scales with the
+		// run so the scaled-down experiment samples as often, relatively,
+		// as the paper's 1 s slot did in its ~150 s run.
+		soloEstimate := estimateSolo(o, m)
+		joinAt := soloEstimate * 2 / 5
+		cl := paperCluster(o.seed(), false)
+		ddCfg := core.DefaultConfig()
+		// Slots must be long enough that the seek/request statistics carry
+		// a meaningful sample count (the paper's 1 s slot on a ~150 s run).
+		ddCfg.SlotEvery = soloEstimate / 8
+		if ddCfg.SlotEvery < 100*time.Millisecond {
+			ddCfg.SlotEvery = 100 * time.Millisecond
+		}
+		if ddCfg.SlotEvery > time.Second {
+			ddCfg.SlotEvery = time.Second
+		}
+		r := core.NewRunner(cl, ddCfg)
+		p1 := r.Add(m, sch.mode, core.AddOptions{RanksPerNode: 8})
+		p2 := r.Add(h, sch.mode, core.AddOptions{RanksPerNode: 8, StartAt: joinAt})
+
+		// Throughput and seek-distance series sampled during the run.
+		window := soloEstimate / 40
+		if window < 50*time.Millisecond {
+			window = 50 * time.Millisecond
+		}
+		until := soloEstimate * 4
+		var lastBytes int64
+		tp := metrics.Sample(cl.K, "throughput-"+sch.label, window, until, func() float64 {
+			s := cl.ServerStats()
+			cur := s.BytesRead + s.BytesWritten
+			d := cur - lastBytes
+			lastBytes = cur
+			return float64(d) / (1 << 20) / window.Seconds()
+		})
+		var lastSeek, lastAcc int64
+		seek := metrics.Sample(cl.K, "seekdist-"+sch.label, window, until, func() float64 {
+			s := cl.ServerStats()
+			dSeek, dAcc := s.SeekSectors-lastSeek, s.Accesses-lastAcc
+			lastSeek, lastAcc = s.SeekSectors, s.Accesses
+			if dAcc == 0 {
+				return 0
+			}
+			return float64(dSeek) / float64(dAcc)
+		})
+		r.Run(12 * time.Hour)
+
+		end1 := p1.EndedAt
+		before := tp.Window(0, joinAt)
+		after := tp.Window(joinAt, end1)
+		seekAfter := seek.Window(joinAt, end1)
+		switched := len(p1.ModeSwitches)+len(p2.ModeSwitches) > 0
+		res.Series = append(res.Series, tp, seek)
+		res.Table.AddRow(sch.label, mb(before), mb(after),
+			fmt.Sprintf("%.0f", seekAfter), fmt.Sprintf("%v", switched))
+		o.logf("fig7 %s: before=%.1f after=%.1f MB/s, seek=%.0f, switches p1=%d p2=%d (join at %.1fs)",
+			sch.label, before, after, seekAfter, len(p1.ModeSwitches), len(p2.ModeSwitches), joinAt.Seconds())
+	}
+	return res
+}
+
+// estimateSolo measures the mpi-io-test running alone under vanilla; Fig 7
+// uses it to place the hpio join and to size sampling windows.
+func estimateSolo(o Opts, m workloads.MPIIOTest) time.Duration {
+	ms, _ := execute(o.seed(), false, 12*time.Hour, core.DefaultConfig(),
+		[]runSpec{{prog: m, mode: core.ModeVanilla}})
+	return ms[0].elapsed
+}
+
+// Fig8 regenerates Figure 8: BTIO throughput as the per-process cache quota
+// grows from 0 (DualPar disabled) to 1 MB.
+func Fig8(o Opts) *Result {
+	res := &Result{
+		ID:    "fig8",
+		Title: "Fig 8: BTIO system throughput (MB/s) vs per-process cache size",
+		Table: &metrics.Table{Header: []string{"cache_kb", "throughput_MBs"}},
+	}
+	res.note("paper: 0 KB equals vanilla (~2.7 MB/s); 64 KB is ~43x better; returns diminish beyond a few hundred KB")
+	b := workloads.DefaultBTIO()
+	b.TotalBytes = 8 << 20
+	b.Steps = 2
+	b.StepCompute = 10 * time.Millisecond
+	sizes := []int64{0, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
+	if o.Quick {
+		b.TotalBytes = 2 << 20
+		sizes = []int64{0, 64 << 10, 1 << 20}
+	}
+	for _, cacheB := range sizes {
+		cfg := core.DefaultConfig()
+		mode := core.ModeDataDriven
+		if cacheB == 0 {
+			mode = core.ModeVanilla // zero quota disables DualPar entirely
+		} else {
+			cfg.CacheQuotaBytes = cacheB
+		}
+		ms, _ := execute(o.seed(), false, 12*time.Hour, cfg,
+			[]runSpec{{prog: b, mode: mode}})
+		res.Table.AddRow(fmt.Sprintf("%d", cacheB>>10), mb(ms[0].throughputMBs()))
+		o.logf("fig8 cache=%dKB: %.2f MB/s", cacheB>>10, ms[0].throughputMBs())
+	}
+	return res
+}
+
+// Table3 regenerates Table III: the dependent reader whose future requests
+// cannot be predicted; DualPar's data-driven mode (initially on) is turned
+// off by the mis-prefetch guard, so only a bounded one-time overhead
+// remains.
+func Table3(o Opts) *Result {
+	res := &Result{
+		ID:    "table3",
+		Title: "Table III: execution time (s) of an unpredictable program, with/without DualPar",
+		Table: &metrics.Table{Header: []string{"cache_mb", "no_dualpar_s", "dualpar_s", "overhead_%"}},
+	}
+	res.note("paper: worst case +7.2%% at 4 MB cache; the mis-prefetch guard makes it a one-time cost")
+	// The paper reads 2 GB with data-dependent addresses; the wasted
+	// prefetching is a fixed few-cycle cost, so the baseline volume must be
+	// kept at paper scale for the overhead percentage to be comparable.
+	d := workloads.DefaultDependentReader()
+	d.Procs = 16
+	d.FileBytes = 2 << 30
+	d.CallsPerRank = 2048
+	if o.Quick {
+		d.Procs = 8
+		d.CallsPerRank = 512 // keep the baseline volume large relative to the fixed few-cycle waste
+	}
+	base, _ := execute(o.seed(), false, 12*time.Hour, core.DefaultConfig(),
+		[]runSpec{{prog: d, mode: core.ModeVanilla}})
+	caches := []int64{1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20}
+	if o.Quick {
+		caches = []int64{1 << 20, 4 << 20}
+	}
+	for _, cacheB := range caches {
+		cfg := core.DefaultConfig()
+		cfg.CacheQuotaBytes = cacheB
+		cfg.SlotEvery = 250 * time.Millisecond
+		ms, _ := execute(o.seed(), false, 12*time.Hour, cfg,
+			[]runSpec{{prog: d, mode: core.ModeDataDriven}})
+		overhead := (ms[0].elapsed.Seconds() - base[0].elapsed.Seconds()) / base[0].elapsed.Seconds() * 100
+		res.Table.AddRow(fmt.Sprintf("%d", cacheB>>20), secs(base[0].elapsed), secs(ms[0].elapsed),
+			fmt.Sprintf("%.1f", overhead))
+		o.logf("table3 cache=%dMB: base=%.2fs dualpar=%.2fs (%.1f%%)",
+			cacheB>>20, base[0].elapsed.Seconds(), ms[0].elapsed.Seconds(), overhead)
+	}
+	return res
+}
+
+// All runs every experiment in paper order.
+func All(o Opts) []*Result {
+	return []*Result{
+		Fig1a(o), Fig1b(o), Fig1cd(o),
+		Fig3(o), Fig4(o), Fig5(o),
+		Table2(o), Fig6(o), Fig7(o), Fig8(o), Table3(o),
+	}
+}

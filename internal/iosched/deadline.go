@@ -1,0 +1,101 @@
+package iosched
+
+import "time"
+
+// Deadline models the kernel deadline elevator: requests are served in
+// ascending LBN batches, but each request also sits in a FIFO with an
+// expiry (reads 500 ms, writes 5 s); when the FIFO head expires the
+// elevator jumps to it, bounding starvation.
+type Deadline struct {
+	ReadExpire  time.Duration
+	WriteExpire time.Duration
+	BatchSize   int
+
+	sorted   sortedQueue
+	fifoR    []*Request
+	fifoW    []*Request
+	inBatch  int
+	deadline map[*Request]time.Duration
+}
+
+// NewDeadline returns a deadline elevator with kernel-default tunables.
+func NewDeadline() *Deadline {
+	return &Deadline{
+		ReadExpire:  500 * time.Millisecond,
+		WriteExpire: 5 * time.Second,
+		BatchSize:   16,
+		deadline:    make(map[*Request]time.Duration),
+	}
+}
+
+// Name implements Algorithm.
+func (d *Deadline) Name() string { return "deadline" }
+
+// Add implements Algorithm.
+func (d *Deadline) Add(r *Request, now time.Duration) {
+	if d.sorted.insert(r) {
+		return // merged into an existing request
+	}
+	if r.Write {
+		d.fifoW = append(d.fifoW, r)
+		d.deadline[r] = now + d.WriteExpire
+	} else {
+		d.fifoR = append(d.fifoR, r)
+		d.deadline[r] = now + d.ReadExpire
+	}
+}
+
+// Next implements Algorithm.
+func (d *Deadline) Next(now time.Duration, head int64) (*Request, time.Duration) {
+	if d.sorted.len() == 0 {
+		return nil, 0
+	}
+	// Expired FIFO head preempts the batch.
+	if d.inBatch >= d.BatchSize {
+		d.inBatch = 0
+	}
+	if r := d.expired(now); r != nil {
+		d.take(r)
+		d.inBatch = 1
+		return r, 0
+	}
+	r := d.sorted.peekFrom(head)
+	d.take(r)
+	d.inBatch++
+	return r, 0
+}
+
+func (d *Deadline) expired(now time.Duration) *Request {
+	if len(d.fifoR) > 0 && d.deadline[d.fifoR[0]] <= now {
+		return d.fifoR[0]
+	}
+	if len(d.fifoW) > 0 && d.deadline[d.fifoW[0]] <= now {
+		return d.fifoW[0]
+	}
+	return nil
+}
+
+// take removes r from all structures.
+func (d *Deadline) take(r *Request) {
+	d.sorted.remove(r)
+	delete(d.deadline, r)
+	d.fifoR = removeReq(d.fifoR, r)
+	d.fifoW = removeReq(d.fifoW, r)
+}
+
+func removeReq(s []*Request, r *Request) []*Request {
+	for i, x := range s {
+		if x == r {
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = nil
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// Pending implements Algorithm.
+func (d *Deadline) Pending() int { return d.sorted.len() }
+
+// NotifyComplete implements Algorithm.
+func (d *Deadline) NotifyComplete(r *Request, now time.Duration) {}

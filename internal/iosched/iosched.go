@@ -1,0 +1,154 @@
+// Package iosched models kernel block-layer I/O schedulers: NOOP, Deadline,
+// and CFQ (the paper's default). A Dispatcher owns one disk.Device and runs
+// the dispatch loop as a simulation Proc; submitters enqueue Requests and
+// block until completion.
+//
+// The property the paper's motivation depends on is reproduced faithfully:
+// the scheduler can only reorder requests that are *outstanding at the same
+// time*. Synchronous request streams with one request in flight per process
+// give the elevator nothing to work with (Fig 1c); large pre-sorted batches
+// let it stream in one direction (Fig 1d).
+package iosched
+
+import (
+	"fmt"
+	"time"
+
+	"dualpar/internal/sim"
+)
+
+// MaxMergeSectors bounds how large adjacent requests may grow by merging,
+// mirroring the kernel's max_sectors_kb (512 KB here).
+const MaxMergeSectors = 1024
+
+// A Request is one block-layer request. Create it with fields set and a nil
+// done signal; the Dispatcher fills in bookkeeping.
+type Request struct {
+	LBN     int64
+	Sectors int64
+	Write   bool
+	// Origin identifies the submitting context (process/program); CFQ
+	// maintains one queue per origin.
+	Origin int
+
+	arrival  time.Duration
+	done     *sim.Signal
+	finished bool
+	absorbed []*Request // requests merged into this one
+}
+
+// End returns the first LBN after the request.
+func (r *Request) End() int64 { return r.LBN + r.Sectors }
+
+// Algorithm is an elevator policy. Implementations are driven by a single
+// Dispatcher Proc and need no locking.
+type Algorithm interface {
+	Name() string
+	// Add inserts a request (possibly merging it into a pending one).
+	Add(r *Request, now time.Duration)
+	// Next picks the request to dispatch given the current time and the
+	// LBN following the last dispatched request. If it returns nil with
+	// idleUntil > 0 the dispatcher should wait until idleUntil (or a new
+	// arrival) and ask again — this is CFQ anticipation. nil with zero
+	// idleUntil means nothing is pending.
+	Next(now time.Duration, head int64) (r *Request, idleUntil time.Duration)
+	// Pending reports queued (not yet dispatched) requests.
+	Pending() int
+	// NotifyComplete informs the policy a dispatched request finished.
+	NotifyComplete(r *Request, now time.Duration)
+}
+
+// Device is the subset of disk.Device the dispatcher needs.
+type Device interface {
+	Access(p *sim.Proc, lbn, sectors int64, write bool) time.Duration
+	Sectors() int64
+}
+
+// Dispatcher owns a device and serves requests through an Algorithm.
+type Dispatcher struct {
+	k       *sim.Kernel
+	dev     Device
+	alg     Algorithm
+	arrival *sim.Signal
+	lastEnd int64
+	served  int64
+	busy    bool
+}
+
+// NewDispatcher creates a dispatcher and starts its dispatch Proc.
+func NewDispatcher(k *sim.Kernel, name string, dev Device, alg Algorithm) *Dispatcher {
+	d := &Dispatcher{k: k, dev: dev, alg: alg, arrival: k.NewSignal()}
+	k.Spawn(name, d.loop)
+	return d
+}
+
+// Algorithm returns the elevator policy in use.
+func (d *Dispatcher) Algorithm() Algorithm { return d.alg }
+
+// Served reports the number of requests dispatched to the device.
+func (d *Dispatcher) Served() int64 { return d.served }
+
+// Enqueue adds a request without blocking. The request's completion can be
+// awaited with Wait.
+func (d *Dispatcher) Enqueue(r *Request) {
+	if r.Sectors <= 0 {
+		panic(fmt.Sprintf("iosched: empty request %+v", r))
+	}
+	r.arrival = d.k.Now()
+	if r.done == nil {
+		r.done = d.k.NewSignal()
+	}
+	d.alg.Add(r, d.k.Now())
+	d.arrival.Broadcast()
+}
+
+// Submit enqueues r and blocks p until it completes.
+func (d *Dispatcher) Submit(p *sim.Proc, r *Request) {
+	d.Enqueue(r)
+	d.Wait(p, r)
+}
+
+// Wait blocks p until r (previously enqueued) completes.
+func (d *Dispatcher) Wait(p *sim.Proc, r *Request) {
+	for !r.finished {
+		r.done.Wait(p)
+	}
+}
+
+// Done reports whether r has completed.
+func (d *Dispatcher) Done(r *Request) bool { return r.finished }
+
+func (d *Dispatcher) loop(p *sim.Proc) {
+	for {
+		r, idleUntil := d.alg.Next(p.Now(), d.lastEnd)
+		if r == nil {
+			if idleUntil > p.Now() {
+				// Anticipation: wait for a same-origin arrival or the idle
+				// window to expire.
+				d.arrival.WaitTimeout(p, idleUntil-p.Now())
+			} else {
+				d.arrival.Wait(p)
+			}
+			continue
+		}
+		d.busy = true
+		d.dev.Access(p, r.LBN, r.Sectors, r.Write)
+		d.busy = false
+		d.lastEnd = r.End()
+		d.served++
+		d.alg.NotifyComplete(r, p.Now())
+		d.complete(r)
+	}
+}
+
+func (d *Dispatcher) complete(r *Request) {
+	r.finished = true
+	r.done.Broadcast()
+	for _, a := range r.absorbed {
+		a.finished = true
+		if a.done != nil {
+			a.done.Broadcast()
+		}
+	}
+	r.absorbed = nil
+}

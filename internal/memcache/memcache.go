@@ -1,0 +1,370 @@
+// Package memcache models the distributed in-memory key-value cache DualPar
+// builds its global I/O cache on (paper §IV-D): files are partitioned into
+// fixed-size chunks (the PVFS2 stripe unit, 64 KB, so one chunk maps to one
+// data server); each chunk is indexed by (file name, chunk address) and is
+// homed on a compute node chosen round-robin; a chunk unreferenced for a
+// configurable period is evicted.
+//
+// Like the rest of the stack, no data bytes are stored — the cache tracks
+// which byte ranges of each chunk are valid and/or dirty, and charges
+// network time for remote gets and puts.
+package memcache
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dualpar/internal/ext"
+	"dualpar/internal/netsim"
+	"dualpar/internal/sim"
+)
+
+// Config tunes the cache.
+type Config struct {
+	// ChunkBytes is the partition unit; DualPar sets it to the PVFS2
+	// stripe unit so a chunk touches exactly one data server.
+	ChunkBytes int64
+	// EvictAfter is how long an unreferenced chunk survives.
+	EvictAfter time.Duration
+	// CapacityBytes bounds the total valid bytes; 0 means unbounded (the
+	// CRM's per-process quotas are then the only limit).
+	CapacityBytes int64
+	// OpCPU is the per-operation processing cost at the home node.
+	OpCPU time.Duration
+}
+
+// DefaultConfig matches the paper's prototype (64 KB chunks).
+func DefaultConfig() Config {
+	return Config{
+		ChunkBytes: 64 << 10,
+		EvictAfter: 30 * time.Second,
+		OpCPU:      20 * time.Microsecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.ChunkBytes <= 0:
+		return fmt.Errorf("memcache: ChunkBytes %d", c.ChunkBytes)
+	case c.EvictAfter <= 0:
+		return fmt.Errorf("memcache: EvictAfter %v", c.EvictAfter)
+	case c.CapacityBytes < 0:
+		return fmt.Errorf("memcache: CapacityBytes %d", c.CapacityBytes)
+	case c.OpCPU < 0:
+		return fmt.Errorf("memcache: OpCPU %v", c.OpCPU)
+	}
+	return nil
+}
+
+type chunkKey struct {
+	file string
+	idx  int64
+}
+
+type chunk struct {
+	key     chunkKey
+	valid   []ext.Extent // chunk-relative byte ranges present
+	dirty   []ext.Extent // subset of valid awaiting writeback
+	lastRef time.Duration
+}
+
+// Cache is the global cache spanning a program's compute nodes.
+type Cache struct {
+	k        *sim.Kernel
+	net      *netsim.Network
+	cfg      Config
+	nodes    []int
+	chunks   map[chunkKey]*chunk
+	used     int64
+	sweeping bool // an idle-eviction sweep is scheduled
+
+	statGets, statHits int64
+	statEvictions      int64
+}
+
+// New creates a cache whose chunks are homed round-robin on nodes. An
+// idle-eviction sweep runs while the cache is non-empty.
+func New(k *sim.Kernel, net *netsim.Network, cfg Config, nodes []int) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(nodes) == 0 {
+		panic("memcache: no nodes")
+	}
+	return &Cache{
+		k:      k,
+		net:    net,
+		cfg:    cfg,
+		nodes:  append([]int(nil), nodes...),
+		chunks: make(map[chunkKey]*chunk),
+	}
+}
+
+// armSweeper schedules the next idle-eviction sweep if one is not pending.
+// The sweep chain stops when the cache empties, so a simulation with no
+// other pending work terminates.
+func (c *Cache) armSweeper() {
+	if c.sweeping {
+		return
+	}
+	evictable := false
+	for _, ch := range c.chunks {
+		if len(ch.dirty) == 0 {
+			evictable = true
+			break
+		}
+	}
+	if !evictable {
+		return
+	}
+	c.sweeping = true
+	c.k.After(c.cfg.EvictAfter/2, func() {
+		c.sweeping = false
+		c.evictIdle()
+		c.armSweeper()
+	})
+}
+
+// Home returns the node that stores the given chunk.
+func (c *Cache) Home(idx int64) int {
+	return c.nodes[int(idx)%len(c.nodes)]
+}
+
+// UsedBytes reports the total valid bytes cached.
+func (c *Cache) UsedBytes() int64 { return c.used }
+
+// Gets and Hits report lookup counters (a hit is a fully satisfied Get).
+func (c *Cache) Gets() int64 { return c.statGets }
+func (c *Cache) Hits() int64 { return c.statHits }
+
+// Evictions reports evicted chunk count.
+func (c *Cache) Evictions() int64 { return c.statEvictions }
+
+// chunkRel splits a file extent into (chunk index, chunk-relative extent)
+// pieces.
+func (c *Cache) chunkRel(e ext.Extent) []struct {
+	idx int64
+	rel ext.Extent
+} {
+	var out []struct {
+		idx int64
+		rel ext.Extent
+	}
+	for _, piece := range ext.SplitAt([]ext.Extent{e}, c.cfg.ChunkBytes) {
+		out = append(out, struct {
+			idx int64
+			rel ext.Extent
+		}{
+			idx: piece.Off / c.cfg.ChunkBytes,
+			rel: ext.Extent{Off: piece.Off % c.cfg.ChunkBytes, Len: piece.Len},
+		})
+	}
+	return out
+}
+
+// Get checks whether [e] of file is fully cached. Lookups are batched the
+// way a memcached multi-get is: one operation and (for remote homes) one
+// network transfer per home node involved, carrying all that home's hit
+// bytes. It returns the missing file-space extents; a fully-satisfied Get
+// counts as a hit.
+func (c *Cache) Get(p *sim.Proc, fromNode int, file string, extents ...ext.Extent) (miss []ext.Extent) {
+	c.statGets++
+	now := p.Now()
+	perHome := make(map[int]int64) // hit bytes by home node
+	for _, e := range extents {
+		for _, cr := range c.chunkRel(e) {
+			key := chunkKey{file, cr.idx}
+			ch := c.chunks[key]
+			var hitB int64
+			if ch != nil {
+				ch.lastRef = now
+				// Covered portion of cr.rel.
+				for _, v := range ch.valid {
+					if cl, ok := v.Clip(cr.rel.Off, cr.rel.End()); ok {
+						hitB += cl.Len
+					}
+				}
+			}
+			base := cr.idx * c.cfg.ChunkBytes
+			if ch == nil || hitB < cr.rel.Len {
+				// Report the whole piece as missing (partial chunk hits are
+				// refetched with the miss, as DualPar's CRM refills chunks
+				// wholesale).
+				miss = append(miss, ext.Extent{Off: base + cr.rel.Off, Len: cr.rel.Len})
+				continue
+			}
+			perHome[c.Home(cr.idx)] += hitB
+		}
+	}
+	c.chargeTransfers(p, fromNode, perHome, false)
+	if len(miss) == 0 {
+		c.statHits++
+	}
+	return ext.Merge(miss)
+}
+
+// chargeTransfers pays one memcached operation per involved home node and
+// one wire transfer per remote home, in node order (deterministic).
+func (c *Cache) chargeTransfers(p *sim.Proc, fromNode int, perHome map[int]int64, toHome bool) {
+	homes := make([]int, 0, len(perHome))
+	for h := range perHome {
+		homes = append(homes, h)
+	}
+	sort.Ints(homes)
+	for _, h := range homes {
+		p.Sleep(c.cfg.OpCPU)
+		if h == fromNode {
+			continue
+		}
+		if toHome {
+			c.net.Send(p, fromNode, h, perHome[h]+64)
+		} else {
+			c.net.Send(p, h, fromNode, perHome[h]+64)
+		}
+	}
+}
+
+// PutClean marks file extents valid (prefetched data arriving at its home
+// nodes). The caller is the CRM proc running on homeNode; extents homed
+// elsewhere cost a network transfer.
+func (c *Cache) PutClean(p *sim.Proc, fromNode int, file string, extents []ext.Extent) {
+	c.put(p, fromNode, file, extents, false)
+}
+
+// PutDirty buffers written extents in the cache (data-driven writes) until
+// writeback drains them.
+func (c *Cache) PutDirty(p *sim.Proc, fromNode int, file string, extents []ext.Extent) {
+	c.put(p, fromNode, file, extents, true)
+}
+
+func (c *Cache) put(p *sim.Proc, fromNode int, file string, extents []ext.Extent, dirty bool) {
+	now := p.Now()
+	perHome := make(map[int]int64) // bytes shipped to each home node
+	for _, e := range extents {
+		for _, cr := range c.chunkRel(e) {
+			key := chunkKey{file, cr.idx}
+			ch := c.chunks[key]
+			if ch == nil {
+				ch = &chunk{key: key}
+				c.chunks[key] = ch
+			}
+			before := ext.Total(ch.valid)
+			ch.valid = ext.Merge(append(ch.valid, cr.rel))
+			c.used += ext.Total(ch.valid) - before
+			if dirty {
+				ch.dirty = ext.Merge(append(ch.dirty, cr.rel))
+			}
+			ch.lastRef = now
+			perHome[c.Home(cr.idx)] += cr.rel.Len
+		}
+	}
+	c.chargeTransfers(p, fromNode, perHome, true)
+	c.enforceCapacity()
+	c.armSweeper()
+}
+
+// DirtyExtents returns the merged dirty file-space extents of a file.
+func (c *Cache) DirtyExtents(file string) []ext.Extent {
+	var out []ext.Extent
+	for key, ch := range c.chunks {
+		if key.file != file {
+			continue
+		}
+		base := key.idx * c.cfg.ChunkBytes
+		for _, d := range ch.dirty {
+			out = append(out, ext.Extent{Off: base + d.Off, Len: d.Len})
+		}
+	}
+	return ext.Merge(out)
+}
+
+// DirtyFiles lists files with dirty data, sorted for determinism.
+func (c *Cache) DirtyFiles() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for key, ch := range c.chunks {
+		if len(ch.dirty) > 0 && !seen[key.file] {
+			seen[key.file] = true
+			out = append(out, key.file)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarkClean clears dirty state after writeback (the data stays valid).
+func (c *Cache) MarkClean(file string) {
+	for key, ch := range c.chunks {
+		if key.file == file {
+			ch.dirty = nil
+		}
+	}
+}
+
+// DirtyBytes reports total dirty bytes across files.
+func (c *Cache) DirtyBytes() int64 {
+	var t int64
+	for _, ch := range c.chunks {
+		t += ext.Total(ch.dirty)
+	}
+	return t
+}
+
+// DropFile removes all chunks of a file (used when a program exits the
+// data-driven mode and its cache is reclaimed).
+func (c *Cache) DropFile(file string) {
+	for key, ch := range c.chunks {
+		if key.file == file {
+			c.used -= ext.Total(ch.valid)
+			delete(c.chunks, key)
+		}
+	}
+}
+
+// evictIdle removes clean chunks unreferenced for EvictAfter.
+func (c *Cache) evictIdle() {
+	cutoff := c.k.Now() - c.cfg.EvictAfter
+	for key, ch := range c.chunks {
+		if len(ch.dirty) == 0 && ch.lastRef < cutoff {
+			c.used -= ext.Total(ch.valid)
+			delete(c.chunks, key)
+			c.statEvictions++
+		}
+	}
+}
+
+// enforceCapacity evicts the least recently referenced clean chunks while
+// over capacity.
+func (c *Cache) enforceCapacity() {
+	if c.cfg.CapacityBytes == 0 {
+		return
+	}
+	for c.used > c.cfg.CapacityBytes {
+		var victim *chunk
+		for _, ch := range c.chunks {
+			if len(ch.dirty) > 0 {
+				continue
+			}
+			if victim == nil || ch.lastRef < victim.lastRef ||
+				(ch.lastRef == victim.lastRef && lessKey(ch.key, victim.key)) {
+				victim = ch
+			}
+		}
+		if victim == nil {
+			return // everything dirty; CRM writeback will drain
+		}
+		c.used -= ext.Total(victim.valid)
+		delete(c.chunks, victim.key)
+		c.statEvictions++
+	}
+}
+
+// lessKey gives a deterministic tiebreak for equal reference times.
+func lessKey(a, b chunkKey) bool {
+	if a.file != b.file {
+		return a.file < b.file
+	}
+	return a.idx < b.idx
+}

@@ -1,0 +1,102 @@
+package memcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dualpar/internal/ext"
+	"dualpar/internal/netsim"
+	"dualpar/internal/sim"
+)
+
+// TestGetAfterPutAlwaysHits: any Get fully covered by prior PutClean calls
+// must be a hit, and uncovered ranges must be reported missing — for
+// arbitrary extent sets.
+func TestGetAfterPutAlwaysHits(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := sim.NewKernel(seed)
+		net := netsim.New(k, netsim.DefaultConfig())
+		c := New(k, net, DefaultConfig(), []int{100, 101, 102})
+		count := 1 + int(n)%12
+		var put []ext.Extent
+		for i := 0; i < count; i++ {
+			put = append(put, ext.Extent{
+				Off: rng.Int63n(4 << 20),
+				Len: 1 + rng.Int63n(256<<10),
+			})
+		}
+		ok := true
+		k.Spawn("p", func(p *sim.Proc) {
+			c.PutClean(p, 100, "f", put)
+			// Every put extent must now be fully resident.
+			for _, e := range put {
+				if miss := c.Get(p, 101, "f", e); len(miss) != 0 {
+					ok = false
+				}
+			}
+			// A range strictly outside all puts must miss entirely.
+			var hi int64
+			for _, e := range put {
+				if e.End() > hi {
+					hi = e.End()
+				}
+			}
+			probe := ext.Extent{Off: hi + 128<<10, Len: 4 << 10}
+			miss := c.Get(p, 100, "f", probe)
+			if ext.Total(miss) != probe.Len {
+				ok = false
+			}
+		})
+		k.RunUntil(time.Minute)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirtyNeverLost: PutDirty extents always reappear (merged) from
+// DirtyExtents until MarkClean, regardless of interleaved clean puts.
+func TestDirtyNeverLost(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := sim.NewKernel(seed)
+		net := netsim.New(k, netsim.DefaultConfig())
+		c := New(k, net, DefaultConfig(), []int{100})
+		count := 1 + int(n)%10
+		var dirty []ext.Extent
+		ok := true
+		k.Spawn("p", func(p *sim.Proc) {
+			for i := 0; i < count; i++ {
+				e := ext.Extent{Off: rng.Int63n(2 << 20), Len: 1 + rng.Int63n(64<<10)}
+				dirty = append(dirty, e)
+				c.PutDirty(p, 100, "f", []ext.Extent{e})
+				// Interleave unrelated clean data.
+				c.PutClean(p, 100, "g", []ext.Extent{{Off: rng.Int63n(1 << 20), Len: 4 << 10}})
+			}
+			want := ext.Merge(dirty)
+			got := c.DirtyExtents("f")
+			if ext.Total(got) != ext.Total(want) {
+				ok = false
+			}
+			c.MarkClean("f")
+			if len(c.DirtyExtents("f")) != 0 {
+				ok = false
+			}
+			// Data stays valid after MarkClean.
+			for _, e := range want {
+				if miss := c.Get(p, 100, "f", e); len(miss) != 0 {
+					ok = false
+				}
+			}
+		})
+		k.RunUntil(time.Minute)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+package mpiio
+
+import (
+	"dualpar/internal/datatype"
+	"dualpar/internal/ext"
+	"dualpar/internal/sim"
+)
+
+// ReadTypeAll is a collective strided read (two-phase I/O). All ranks must
+// call it together, each with its own datatype instance.
+func (f *File) ReadTypeAll(p *sim.Proc, rank int, dt datatype.Type, base int64) {
+	f.collective(p, rank, dt.Extents(base), false)
+}
+
+// WriteTypeAll is a collective strided write.
+func (f *File) WriteTypeAll(p *sim.Proc, rank int, dt datatype.Type, base int64) {
+	f.collective(p, rank, dt.Extents(base), true)
+}
+
+// ReadExtentsAll is a collective read of an explicit extent list.
+func (f *File) ReadExtentsAll(p *sim.Proc, rank int, extents []ext.Extent) {
+	f.collective(p, rank, extents, false)
+}
+
+// WriteExtentsAll is a collective write of an explicit extent list.
+func (f *File) WriteExtentsAll(p *sim.Proc, rank int, extents []ext.Extent) {
+	f.collective(p, rank, extents, true)
+}
+
+// aggInfo describes the file-domain partition of one collective call.
+type aggInfo struct {
+	ranks   []int        // aggregator ranks
+	domains []ext.Extent // domains[i] is aggregator i's file domain
+}
+
+// collective implements two-phase I/O: exchange access metadata, partition
+// the aggregate range into per-aggregator file domains, move data between
+// owners and aggregators with all-to-all, and let aggregators perform large
+// contiguous file accesses (with data sieving).
+func (f *File) collective(p *sim.Proc, rank int, extents []ext.Extent, write bool) {
+	end := f.instr.begin(p, rank, f.name, extents)
+	myBytes := ext.Total(extents)
+
+	// Phase 0: metadata exchange — every rank learns every extent list.
+	metaBytes := int64(16*len(extents)) + 64
+	all := f.w.AllgatherVals(p, rank, extents, metaBytes)
+	perRank := make([][]ext.Extent, f.w.Size())
+	lo, hi := int64(-1), int64(-1)
+	for r := range perRank {
+		perRank[r] = all[r].([]ext.Extent)
+		for _, e := range perRank[r] {
+			if e.Len <= 0 {
+				continue
+			}
+			if lo < 0 || e.Off < lo {
+				lo = e.Off
+			}
+			if e.End() > hi {
+				hi = e.End()
+			}
+		}
+	}
+	if lo < 0 {
+		end(0)
+		return
+	}
+	agg := f.partition(lo, hi)
+	myAgg := -1
+	for i, r := range agg.ranks {
+		if r == rank {
+			myAgg = i
+		}
+	}
+
+	// Only the aggregator materializes (and merges) the union restricted
+	// to its own file domain — never the full union per rank, which would
+	// cost O(P * totalExtents) per call.
+	myNeeded := func() []ext.Extent {
+		var needed []ext.Extent
+		d := agg.domains[myAgg]
+		for r := range perRank {
+			needed = append(needed, clipAll(perRank[r], d)...)
+		}
+		return ext.Merge(needed)
+	}
+	if write {
+		// Phase 1 (write): owners ship data to aggregators.
+		send := make([]int64, f.w.Size())
+		for i, ar := range agg.ranks {
+			send[ar] = overlapTotal(extents, agg.domains[i])
+		}
+		f.w.Alltoallv(p, rank, send)
+		// Phase 2: aggregators write their domains.
+		if myAgg >= 0 {
+			f.aggregatorIO(p, rank, myNeeded(), true)
+		}
+		// Collective completion: everyone waits for the aggregators.
+		f.w.Barrier(p, rank)
+	} else {
+		// Phase 1 (read): aggregators read their domains.
+		if myAgg >= 0 {
+			f.aggregatorIO(p, rank, myNeeded(), false)
+		}
+		// Phase 2: aggregators distribute to owners. The exchange's
+		// rendezvous also makes consumers wait for aggregator reads.
+		send := make([]int64, f.w.Size())
+		if myAgg >= 0 {
+			for r := 0; r < f.w.Size(); r++ {
+				send[r] = overlapTotal(perRank[r], agg.domains[myAgg])
+			}
+		}
+		f.w.Alltoallv(p, rank, send)
+	}
+	end(myBytes)
+}
+
+// partition splits the accessed span [lo, hi) into stripe-aligned file
+// domains, one per aggregator (ROMIO's even partition of [st, end]).
+func (f *File) partition(lo, hi int64) aggInfo {
+	size := f.w.Size()
+	a := f.cfg.Aggregators
+	if a <= 0 {
+		// One aggregator per distinct compute node.
+		seen := make(map[int]bool)
+		for r := 0; r < size; r++ {
+			seen[f.w.Node(r)] = true
+		}
+		a = len(seen)
+	}
+	if a > size {
+		a = size
+	}
+	unit := f.fsys.Config().StripeUnit
+	span := hi - lo
+	per := (span + int64(a) - 1) / int64(a)
+	per = (per + unit - 1) / unit * unit
+	info := aggInfo{}
+	for i := 0; i < a; i++ {
+		dLo := lo + int64(i)*per
+		dHi := dLo + per
+		if dLo >= hi {
+			break
+		}
+		if dHi > hi {
+			dHi = hi
+		}
+		info.ranks = append(info.ranks, i*size/a)
+		info.domains = append(info.domains, ext.Extent{Off: dLo, Len: dHi - dLo})
+	}
+	return info
+}
+
+// aggregatorIO performs the file access for one aggregator's needed
+// extents, staging through the collective buffer: each cycle covers at most
+// CollectiveBufferBytes of data, sieved into contiguous accesses.
+func (f *File) aggregatorIO(p *sim.Proc, rank int, needed []ext.Extent, write bool) {
+	if len(needed) == 0 {
+		return
+	}
+	sieved := ext.MergeWithHoles(needed, f.cfg.DataSieveHole)
+	holes := ext.Holes(needed, sieved)
+	cl := f.client(rank)
+	origin := f.origins[rank]
+	// Data sieving on writes requires read-modify-write of the holes.
+	if write && len(holes) > 0 {
+		cl.Read(p, f.name, holes, origin)
+	}
+	for _, batch := range batchBy(sieved, f.cfg.CollectiveBufferBytes) {
+		if write {
+			cl.Write(p, f.name, batch, origin)
+		} else {
+			cl.Read(p, f.name, batch, origin)
+		}
+	}
+}
+
+// batchBy slices extents into consecutive groups of at most limit total
+// bytes (single extents larger than limit are split).
+func batchBy(xs []ext.Extent, limit int64) [][]ext.Extent {
+	if limit <= 0 {
+		return [][]ext.Extent{xs}
+	}
+	var out [][]ext.Extent
+	var cur []ext.Extent
+	var curBytes int64
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, cur)
+			cur = nil
+			curBytes = 0
+		}
+	}
+	for _, e := range xs {
+		for e.Len > 0 {
+			room := limit - curBytes
+			if room == 0 {
+				flush()
+				room = limit
+			}
+			take := e.Len
+			if take > room {
+				take = room
+			}
+			cur = append(cur, ext.Extent{Off: e.Off, Len: take})
+			curBytes += take
+			e.Off += take
+			e.Len -= take
+		}
+	}
+	flush()
+	return out
+}
+
+// clipAll returns the parts of xs inside domain d.
+func clipAll(xs []ext.Extent, d ext.Extent) []ext.Extent {
+	var out []ext.Extent
+	for _, e := range xs {
+		if c, ok := e.Clip(d.Off, d.End()); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// overlapTotal is the byte count of xs ∩ d.
+func overlapTotal(xs []ext.Extent, d ext.Extent) int64 {
+	var t int64
+	for _, e := range xs {
+		if c, ok := e.Clip(d.Off, d.End()); ok {
+			t += c.Len
+		}
+	}
+	return t
+}

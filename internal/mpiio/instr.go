@@ -1,0 +1,136 @@
+package mpiio
+
+import (
+	"time"
+
+	"dualpar/internal/ext"
+	"dualpar/internal/sim"
+)
+
+// RankStats is the per-rank instrumentation the paper gathers in the ADIO
+// functions: cumulative I/O time, compute time (measured as the gap between
+// consecutive I/O-related calls), and bytes moved.
+type RankStats struct {
+	IOTime      time.Duration
+	ComputeTime time.Duration
+	Bytes       int64
+	Calls       int64
+
+	lastReturn time.Duration
+	everCalled bool
+}
+
+// IORatio is the fraction of a rank's elapsed (compute + I/O) time spent in
+// I/O — the paper's I/O intensity metric.
+func (rs RankStats) IORatio() float64 {
+	total := rs.IOTime + rs.ComputeTime
+	if total == 0 {
+		return 0
+	}
+	return float64(rs.IOTime) / float64(total)
+}
+
+// ReqRecord is one logged client-side request, used by EMC to compute
+// ReqDist (the best-case adjacent-request distance after sorting by file
+// offset).
+type ReqRecord struct {
+	At   time.Duration
+	File string
+	Ext  ext.Extent
+}
+
+// Instr aggregates instrumentation for one program: per-rank stats and the
+// request log.
+type Instr struct {
+	Ranks []RankStats
+	log   []ReqRecord
+}
+
+// NewInstr creates instrumentation for n ranks.
+func NewInstr(n int) *Instr {
+	return &Instr{Ranks: make([]RankStats, n)}
+}
+
+// begin marks the start of an I/O call: the time since the previous call's
+// return is attributed to computation. It returns the function to invoke at
+// call completion with the transferred byte count.
+func (in *Instr) begin(p *sim.Proc, rank int, file string, extents []ext.Extent) func(bytes int64) {
+	start := p.Now()
+	rs := &in.Ranks[rank]
+	if rs.everCalled {
+		rs.ComputeTime += start - rs.lastReturn
+	}
+	for _, e := range extents {
+		if e.Len > 0 {
+			in.log = append(in.log, ReqRecord{At: start, File: file, Ext: e})
+		}
+	}
+	return func(bytes int64) {
+		now := p.Now()
+		rs.IOTime += now - start
+		rs.Bytes += bytes
+		rs.Calls++
+		rs.lastReturn = now
+		rs.everCalled = true
+	}
+}
+
+// Span accounts one I/O call that happened outside the normal begin/end
+// path (DualPar's cache-served calls and suspensions): the gap since the
+// previous call's return is compute, [start, end) is I/O.
+func (in *Instr) Span(rank int, start, end time.Duration, bytes int64) {
+	rs := &in.Ranks[rank]
+	if rs.everCalled {
+		rs.ComputeTime += start - rs.lastReturn
+	}
+	rs.IOTime += end - start
+	rs.Bytes += bytes
+	rs.Calls++
+	rs.lastReturn = end
+	rs.everCalled = true
+}
+
+// AddIOTime attributes d of I/O time to a rank (DualPar charges cache-miss
+// stalls and data-driven waits here).
+func (in *Instr) AddIOTime(rank int, d time.Duration, bytes int64) {
+	in.Ranks[rank].IOTime += d
+	in.Ranks[rank].Bytes += bytes
+}
+
+// Record appends request records without timing (DualPar logs the requests
+// it recorded during pre-execution so ReqDist still reflects demand).
+func (in *Instr) Record(now time.Duration, file string, extents []ext.Extent) {
+	for _, e := range extents {
+		if e.Len > 0 {
+			in.log = append(in.log, ReqRecord{At: now, File: file, Ext: e})
+		}
+	}
+}
+
+// DrainLog returns and clears the request log (EMC samples it per slot).
+func (in *Instr) DrainLog() []ReqRecord {
+	out := in.log
+	in.log = nil
+	return out
+}
+
+// IORatio returns the mean I/O ratio across ranks.
+func (in *Instr) IORatio() float64 {
+	if len(in.Ranks) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range in.Ranks {
+		sum += in.Ranks[i].IORatio()
+	}
+	return sum / float64(len(in.Ranks))
+}
+
+// TotalBytes returns the bytes moved by all ranks.
+func (in *Instr) TotalBytes() int64 {
+	var t int64
+	for i := range in.Ranks {
+		t += in.Ranks[i].Bytes
+	}
+	return t
+}

@@ -1,0 +1,457 @@
+package mpiio
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dualpar/internal/datatype"
+	"dualpar/internal/disk"
+	"dualpar/internal/ext"
+	"dualpar/internal/fs"
+	"dualpar/internal/iosched"
+	"dualpar/internal/mpi"
+	"dualpar/internal/netsim"
+	"dualpar/internal/pfs"
+	"dualpar/internal/sim"
+)
+
+// rig is a test cluster: metadata node 0, data servers nodes 1..S, ranks on
+// compute nodes 100+.
+type rig struct {
+	k    *sim.Kernel
+	w    *mpi.World
+	fsys *pfs.FileSystem
+}
+
+func newRig(t *testing.T, servers, ranks, ranksPerNode int) *rig {
+	t.Helper()
+	k := sim.NewKernel(1)
+	net := netsim.New(k, netsim.DefaultConfig())
+	var nodes []int
+	var stores []*fs.Store
+	for i := 0; i < servers; i++ {
+		dp := disk.DefaultParams()
+		dp.Sectors = 1 << 24
+		stores = append(stores, fs.New(k, fmt.Sprintf("s%d", i), disk.New(dp), iosched.NewCFQ(), fs.DefaultConfig(), 10000+i))
+		nodes = append(nodes, 1+i)
+	}
+	fsys := pfs.New(k, net, pfs.DefaultConfig(), 0, nodes, stores)
+	w := mpi.NewWorld(k, net, mpi.BlockPlacement(ranks, ranksPerNode, 100))
+	return &rig{k: k, w: w, fsys: fsys}
+}
+
+func origins(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = 1 + i
+	}
+	return o
+}
+
+func (r *rig) open(name string, cfg Config) *File {
+	return Open(r.w, r.fsys, name, cfg, nil, origins(r.w.Size()))
+}
+
+// runRanks spawns one proc per rank running fn and runs to completion.
+func (r *rig) runRanks(t *testing.T, fn func(p *sim.Proc, rank int)) {
+	t.Helper()
+	for i := 0; i < r.w.Size(); i++ {
+		i := i
+		r.k.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) { fn(p, i) })
+	}
+	r.k.RunUntil(time.Hour)
+}
+
+func (r *rig) serverReadBytes() int64 {
+	var total int64
+	for _, s := range r.fsys.Servers() {
+		total += s.Store.BytesRead()
+	}
+	return total
+}
+
+func TestIndependentContigRead(t *testing.T) {
+	r := newRig(t, 3, 4, 2)
+	f := r.open("f", DefaultConfig())
+	r.runRanks(t, func(p *sim.Proc, rank int) {
+		if rank == 0 {
+			f.Preallocate(p, 0, 4<<20)
+		}
+		r.w.Barrier(p, rank)
+		f.ReadAt(p, rank, int64(rank)<<20, 1<<20)
+	})
+	if got := r.serverReadBytes(); got != 4<<20 {
+		t.Fatalf("servers read %d, want 4MB", got)
+	}
+	in := f.Instr()
+	if in.TotalBytes() != 4<<20 {
+		t.Fatalf("instr bytes = %d, want 4MB", in.TotalBytes())
+	}
+	for rank := range in.Ranks {
+		if in.Ranks[rank].IOTime == 0 {
+			t.Fatalf("rank %d recorded zero IO time", rank)
+		}
+	}
+}
+
+func TestVanillaStridedIssuesPerSegment(t *testing.T) {
+	r := newRig(t, 2, 1, 1)
+	cfg := DefaultConfig()
+	cfg.ListIO = false
+	f := r.open("f", cfg)
+	dt := datatype.Vector{Count: 8, BlockLen: 4 << 10, Stride: 192 << 10}
+	msgs0 := int64(-1)
+	r.runRanks(t, func(p *sim.Proc, rank int) {
+		f.Preallocate(p, 0, 4<<20)
+		msgs0 = r.w.Net().Messages()
+		f.ReadType(p, rank, dt, 0)
+	})
+	msgs := r.w.Net().Messages() - msgs0
+	// 8 segments, each a request+reply round trip = 16 messages.
+	if msgs != 16 {
+		t.Fatalf("messages = %d, want 16 (one round trip per segment)", msgs)
+	}
+}
+
+func TestListIOStridedBatchesPerServer(t *testing.T) {
+	r := newRig(t, 2, 1, 1)
+	cfg := DefaultConfig()
+	cfg.ListIO = true
+	f := r.open("f", cfg)
+	dt := datatype.Vector{Count: 8, BlockLen: 4 << 10, Stride: 192 << 10}
+	msgs0 := int64(-1)
+	r.runRanks(t, func(p *sim.Proc, rank int) {
+		f.Preallocate(p, 0, 4<<20)
+		msgs0 = r.w.Net().Messages()
+		f.ReadType(p, rank, dt, 0)
+	})
+	msgs := r.w.Net().Messages() - msgs0
+	// At most one round trip per server.
+	if msgs > 4 {
+		t.Fatalf("messages = %d, want <= 4 with list I/O", msgs)
+	}
+}
+
+func TestCollectiveReadMovesAllBytes(t *testing.T) {
+	r := newRig(t, 3, 8, 4)
+	f := r.open("f", DefaultConfig())
+	// Interleaved 4KB columns: rank i reads bytes [i*4K + j*32K, +4K).
+	dt := func(rank int) datatype.Indexed {
+		var disps, lens []int64
+		for j := int64(0); j < 16; j++ {
+			disps = append(disps, int64(rank)*4<<10+j*32<<10)
+			lens = append(lens, 4<<10)
+		}
+		return datatype.Indexed{Disps: disps, Lens: lens}
+	}
+	r.runRanks(t, func(p *sim.Proc, rank int) {
+		if rank == 0 {
+			f.Preallocate(p, 0, 1<<20)
+		}
+		r.w.Barrier(p, rank)
+		f.ReadTypeAll(p, rank, dt(rank), 0)
+	})
+	// The 8 ranks' interleaved extents tile [0, 512K) fully; sieving may
+	// read a bit more but never less.
+	if got := r.serverReadBytes(); got < 512<<10 {
+		t.Fatalf("servers read %d, want >= 512K", got)
+	}
+}
+
+func TestCollectiveFewerDiskAccessesThanVanilla(t *testing.T) {
+	// The whole point of two-phase I/O: interleaved small extents become a
+	// few large contiguous accesses.
+	accesses := func(collective bool) int64 {
+		r := newRig(t, 2, 8, 8)
+		f := r.open("f", DefaultConfig())
+		dt := func(rank int) datatype.Indexed {
+			var disps, lens []int64
+			for j := int64(0); j < 32; j++ {
+				disps = append(disps, int64(rank)*2<<10+j*16<<10)
+				lens = append(lens, 2<<10)
+			}
+			return datatype.Indexed{Disps: disps, Lens: lens}
+		}
+		r.runRanks(t, func(p *sim.Proc, rank int) {
+			if rank == 0 {
+				f.Preallocate(p, 0, 1<<20)
+			}
+			r.w.Barrier(p, rank)
+			if collective {
+				f.ReadTypeAll(p, rank, dt(rank), 0)
+			} else {
+				f.ReadType(p, rank, dt(rank), 0)
+			}
+		})
+		var acc int64
+		for _, s := range r.fsys.Servers() {
+			acc += s.Store.Device().Stats().Accesses
+		}
+		return acc
+	}
+	vanilla, coll := accesses(false), accesses(true)
+	if coll*4 > vanilla {
+		t.Fatalf("collective accesses %d vs vanilla %d: want >= 4x reduction", coll, vanilla)
+	}
+}
+
+func TestCollectiveWriteRMWReadsHoles(t *testing.T) {
+	r := newRig(t, 2, 2, 2)
+	cfg := DefaultConfig()
+	cfg.DataSieveHole = 64 << 10
+	f := r.open("f", cfg)
+	// Two ranks write 4K blocks separated by 4K holes.
+	dt := func(rank int) datatype.Indexed {
+		var disps, lens []int64
+		for j := int64(0); j < 8; j++ {
+			disps = append(disps, int64(rank)*512<<10+j*8<<10)
+			lens = append(lens, 4<<10)
+		}
+		return datatype.Indexed{Disps: disps, Lens: lens}
+	}
+	r.runRanks(t, func(p *sim.Proc, rank int) {
+		if rank == 0 {
+			f.Preallocate(p, 0, 1<<20)
+		}
+		r.w.Barrier(p, rank)
+		f.WriteTypeAll(p, rank, dt(rank), 0)
+	})
+	if got := r.serverReadBytes(); got == 0 {
+		t.Fatalf("no hole reads: data-sieving write must read-modify-write")
+	}
+}
+
+func TestCollectiveCallsSynchronize(t *testing.T) {
+	r := newRig(t, 2, 4, 2)
+	f := r.open("f", DefaultConfig())
+	var finish []time.Duration
+	r.runRanks(t, func(p *sim.Proc, rank int) {
+		if rank == 0 {
+			f.Preallocate(p, 0, 1<<20)
+		}
+		r.w.Barrier(p, rank)
+		p.Sleep(time.Duration(rank) * 100 * time.Millisecond) // skewed arrival
+		f.ReadExtentsAll(p, rank, []ext.Extent{{Off: int64(rank) * 64 << 10, Len: 64 << 10}})
+		finish = append(finish, p.Now())
+	})
+	// No rank can finish before the slowest arrives (300ms).
+	for _, at := range finish {
+		if at < 300*time.Millisecond {
+			t.Fatalf("rank finished collective at %v before last arrival", at)
+		}
+	}
+}
+
+func TestComputeTimeMeasuredBetweenCalls(t *testing.T) {
+	r := newRig(t, 2, 1, 1)
+	f := r.open("f", DefaultConfig())
+	r.runRanks(t, func(p *sim.Proc, rank int) {
+		f.Preallocate(p, 0, 1<<20)
+		f.ReadAt(p, rank, 0, 64<<10)
+		p.Sleep(500 * time.Millisecond) // compute
+		f.ReadAt(p, rank, 64<<10, 64<<10)
+	})
+	rs := f.Instr().Ranks[0]
+	if rs.ComputeTime < 500*time.Millisecond {
+		t.Fatalf("compute time = %v, want >= 500ms", rs.ComputeTime)
+	}
+	if rs.IOTime <= 0 {
+		t.Fatalf("io time = %v", rs.IOTime)
+	}
+	ratio := rs.IORatio()
+	if ratio <= 0 || ratio >= 1 {
+		t.Fatalf("io ratio = %g, want in (0,1)", ratio)
+	}
+}
+
+func TestRequestLogDrain(t *testing.T) {
+	r := newRig(t, 2, 1, 1)
+	f := r.open("f", DefaultConfig())
+	r.runRanks(t, func(p *sim.Proc, rank int) {
+		f.Preallocate(p, 0, 1<<20)
+		f.ReadAt(p, rank, 0, 4<<10)
+		f.ReadAt(p, rank, 8<<10, 4<<10)
+	})
+	log := f.Instr().DrainLog()
+	if len(log) != 2 {
+		t.Fatalf("log entries = %d, want 2", len(log))
+	}
+	if len(f.Instr().DrainLog()) != 0 {
+		t.Fatalf("drain did not clear the log")
+	}
+}
+
+func TestBatchBy(t *testing.T) {
+	xs := []ext.Extent{{Off: 0, Len: 10}, {Off: 20, Len: 25}}
+	batches := batchBy(xs, 16)
+	if len(batches) != 3 {
+		t.Fatalf("batches = %v, want 3", batches)
+	}
+	var total int64
+	for _, b := range batches {
+		if ext.Total(b) > 16 {
+			t.Fatalf("batch exceeds limit: %v", b)
+		}
+		total += ext.Total(b)
+	}
+	if total != 35 {
+		t.Fatalf("batched total = %d, want 35", total)
+	}
+}
+
+func TestPartitionDomainsCoverUnion(t *testing.T) {
+	r := newRig(t, 3, 8, 2)
+	f := r.open("f", DefaultConfig())
+	info := f.partition(64<<10, 64<<10+8<<20)
+	if len(info.ranks) == 0 {
+		t.Fatalf("no aggregators")
+	}
+	lo := info.domains[0].Off
+	hi := info.domains[len(info.domains)-1].End()
+	if lo > 64<<10 || hi < 64<<10+8<<20 {
+		t.Fatalf("domains [%d,%d) do not cover union", lo, hi)
+	}
+	unit := r.fsys.Config().StripeUnit
+	for _, d := range info.domains[:len(info.domains)-1] {
+		if d.Off%unit != 0 {
+			t.Fatalf("domain start %d not stripe-aligned", d.Off)
+		}
+	}
+}
+
+func TestIndependentSieveReducesRoundTrips(t *testing.T) {
+	// Data sieving turns per-segment round trips into a few covering
+	// accesses (plus over-read of the holes).
+	run := func(sieve bool) (msgs, served int64) {
+		r := newRig(t, 2, 1, 1)
+		cfg := DefaultConfig()
+		cfg.IndependentSieve = sieve
+		f := r.open("f", cfg)
+		dt := datatype.Vector{Count: 16, BlockLen: 4 << 10, Stride: 16 << 10}
+		var msgs0 int64
+		r.runRanks(t, func(p *sim.Proc, rank int) {
+			f.Preallocate(p, 0, 4<<20)
+			msgs0 = r.w.Net().Messages()
+			f.ReadType(p, rank, dt, 0)
+		})
+		return r.w.Net().Messages() - msgs0, r.serverReadBytes()
+	}
+	msgsOff, servedOff := run(false)
+	msgsOn, servedOn := run(true)
+	if msgsOn*4 > msgsOff {
+		t.Fatalf("sieving messages %d not << per-segment %d", msgsOn, msgsOff)
+	}
+	if servedOn <= servedOff {
+		t.Fatalf("sieving should over-read holes: %d vs %d", servedOn, servedOff)
+	}
+}
+
+func TestIndependentSieveWriteRMW(t *testing.T) {
+	r := newRig(t, 2, 1, 1)
+	cfg := DefaultConfig()
+	cfg.IndependentSieve = true
+	f := r.open("f", cfg)
+	dt := datatype.Vector{Count: 8, BlockLen: 4 << 10, Stride: 16 << 10}
+	r.runRanks(t, func(p *sim.Proc, rank int) {
+		f.Preallocate(p, 0, 1<<20)
+		f.WriteType(p, rank, dt, 0)
+	})
+	if r.serverReadBytes() == 0 {
+		t.Fatalf("sieved strided write must read holes back (RMW)")
+	}
+}
+
+func TestIndependentSieveRespectsBuffer(t *testing.T) {
+	r := newRig(t, 1, 1, 1)
+	cfg := DefaultConfig()
+	cfg.IndependentSieve = true
+	cfg.SieveBufferBytes = 64 << 10
+	f := r.open("f", cfg)
+	// Dense vector: one 1MB covering range, so ceil(1MB/64KB) accesses.
+	dt := datatype.Vector{Count: 256, BlockLen: 2 << 10, Stride: 4 << 10}
+	msgs0 := int64(-1)
+	r.runRanks(t, func(p *sim.Proc, rank int) {
+		f.Preallocate(p, 0, 2<<20)
+		msgs0 = r.w.Net().Messages()
+		f.ReadType(p, rank, dt, 0)
+	})
+	msgs := r.w.Net().Messages() - msgs0
+	// ~16 sieve chunks, each one round trip to the single server.
+	if msgs < 2*10 || msgs > 2*20 {
+		t.Fatalf("messages = %d, want about 2x16 (per sieve chunk)", msgs)
+	}
+}
+
+func TestValidateSieveConfig(t *testing.T) {
+	c := DefaultConfig()
+	c.IndependentSieve = true
+	c.SieveBufferBytes = 0
+	if c.Validate() == nil {
+		t.Fatalf("zero sieve buffer passed validation")
+	}
+}
+
+func TestAccessorsAndWritePaths(t *testing.T) {
+	r := newRig(t, 2, 2, 2)
+	f := r.open("acc", DefaultConfig())
+	if f.Name() != "acc" || f.World() != r.w || f.FS() != r.fsys {
+		t.Fatalf("accessors wrong")
+	}
+	r.runRanks(t, func(p *sim.Proc, rank int) {
+		f.WriteAt(p, rank, int64(rank)<<20, 256<<10)
+		f.WriteExtents(p, rank, []ext.Extent{{Off: int64(rank)*64<<10 + 4<<20, Len: 64 << 10}})
+		f.WriteExtentsAll(p, rank, []ext.Extent{{Off: int64(rank)*32<<10 + 8<<20, Len: 32 << 10}})
+	})
+	var written int64
+	for _, s := range r.fsys.Servers() {
+		written += s.Store.BytesWritten()
+	}
+	want := int64(2) * (256<<10 + 64<<10 + 32<<10)
+	if written < want {
+		t.Fatalf("servers wrote %d, want >= %d", written, want)
+	}
+}
+
+func TestInstrSpanAndHelpers(t *testing.T) {
+	in := NewInstr(2)
+	in.Span(0, 100*time.Millisecond, 150*time.Millisecond, 1000)
+	in.Span(0, 250*time.Millisecond, 300*time.Millisecond, 1000)
+	rs := in.Ranks[0]
+	if rs.IOTime != 100*time.Millisecond {
+		t.Fatalf("io time = %v", rs.IOTime)
+	}
+	if rs.ComputeTime != 100*time.Millisecond {
+		t.Fatalf("compute time = %v (gap between spans)", rs.ComputeTime)
+	}
+	if rs.Bytes != 2000 || rs.Calls != 2 {
+		t.Fatalf("bytes/calls = %d/%d", rs.Bytes, rs.Calls)
+	}
+	if got := rs.IORatio(); got != 0.5 {
+		t.Fatalf("rank ratio = %g", got)
+	}
+	if got := in.IORatio(); got != 0.25 { // rank 1 contributes 0
+		t.Fatalf("program ratio = %g", got)
+	}
+	in.AddIOTime(1, time.Second, 5)
+	if in.Ranks[1].IOTime != time.Second || in.TotalBytes() != 2005 {
+		t.Fatalf("AddIOTime not applied")
+	}
+	in.Record(time.Second, "f", []ext.Extent{{Off: 0, Len: 10}, {Len: 0}})
+	if log := in.DrainLog(); len(log) != 1 || log[0].File != "f" {
+		t.Fatalf("Record/DrainLog = %+v", log)
+	}
+	if (RankStats{}).IORatio() != 0 {
+		t.Fatalf("zero stats ratio nonzero")
+	}
+}
+
+func TestOpenPanicsOnBadArgs(t *testing.T) {
+	r := newRig(t, 1, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for mismatched origins")
+		}
+	}()
+	Open(r.w, r.fsys, "x", DefaultConfig(), nil, []int{1}) // 1 origin, 2 ranks
+}

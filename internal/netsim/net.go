@@ -1,0 +1,114 @@
+// Package netsim models a switched, full-duplex Ethernet: each node has a
+// transmit and a receive link of fixed bandwidth, messages pay a one-way
+// latency, and the switch fabric itself is non-blocking (as on the paper's
+// Gigabit Ethernet cluster). Contention appears exactly where it does in
+// practice: at the sender's uplink and at the receiver's downlink (incast).
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"dualpar/internal/sim"
+)
+
+// Config describes link characteristics.
+type Config struct {
+	// Latency is the one-way message latency (propagation, switching, and
+	// protocol stack).
+	Latency time.Duration
+	// Bandwidth is the per-direction link rate in bytes/second.
+	Bandwidth float64
+}
+
+// DefaultConfig approximates switched Gigabit Ethernet: ~940 Mb/s goodput
+// and 100 µs one-way latency.
+func DefaultConfig() Config {
+	return Config{Latency: 100 * time.Microsecond, Bandwidth: 117e6}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Latency < 0 {
+		return fmt.Errorf("netsim: Latency %v", c.Latency)
+	}
+	if c.Bandwidth <= 0 {
+		return fmt.Errorf("netsim: Bandwidth %g", c.Bandwidth)
+	}
+	return nil
+}
+
+// Network charges virtual time for messages between nodes. Nodes are dense
+// small integers assigned by the cluster layer.
+type Network struct {
+	k   *sim.Kernel
+	cfg Config
+	tx  map[int]time.Duration // per-node transmit link free time
+	rx  map[int]time.Duration // per-node receive link free time
+
+	bytesSent int64
+	messages  int64
+}
+
+// New creates a network.
+func New(k *sim.Kernel, cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Network{
+		k:   k,
+		cfg: cfg,
+		tx:  make(map[int]time.Duration),
+		rx:  make(map[int]time.Duration),
+	}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// BytesSent and Messages report cumulative traffic.
+func (n *Network) BytesSent() int64 { return n.bytesSent }
+func (n *Network) Messages() int64  { return n.messages }
+
+// xfer returns the serialization time of a message.
+func (n *Network) xfer(bytes int64) time.Duration {
+	return time.Duration(float64(bytes) / n.cfg.Bandwidth * float64(time.Second))
+}
+
+// Send blocks p until a message of the given size from node from is fully
+// delivered at node to. Local (same-node) messages cost nothing.
+func (n *Network) Send(p *sim.Proc, from, to int, bytes int64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("netsim: negative message size %d", bytes))
+	}
+	n.messages++
+	if from == to {
+		return
+	}
+	n.bytesSent += bytes
+	now := p.Now()
+	x := n.xfer(bytes)
+
+	start := now
+	if n.tx[from] > start {
+		start = n.tx[from]
+	}
+	n.tx[from] = start + x
+
+	// Bits begin arriving after the latency; the receive link serializes
+	// delivery at link rate.
+	arrive := start + n.cfg.Latency
+	if n.rx[to] > arrive {
+		arrive = n.rx[to]
+	}
+	done := arrive + x
+	n.rx[to] = done
+
+	p.Sleep(done - now)
+}
+
+// Delay charges the one-way latency only, for zero-payload control messages
+// whose serialization is negligible.
+func (n *Network) Delay(p *sim.Proc) {
+	p.Sleep(n.cfg.Latency)
+}

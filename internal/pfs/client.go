@@ -1,0 +1,104 @@
+package pfs
+
+import (
+	"dualpar/internal/ext"
+	"dualpar/internal/sim"
+)
+
+// Client is a node-local handle to the file system. PVFS2 keeps no
+// client-side data cache, so every call reaches the servers.
+type Client struct {
+	fsys *FileSystem
+	Node int
+}
+
+// Client returns a client bound to the given network node.
+func (fsys *FileSystem) Client(node int) *Client {
+	return &Client{fsys: fsys, Node: node}
+}
+
+// Create registers the file with the metadata server and pre-allocates
+// layout for size bytes on the data servers.
+func (c *Client) Create(p *sim.Proc, name string, size int64) {
+	fsys := c.fsys
+	fsys.net.Send(p, c.Node, fsys.meta.Node, fsys.cfg.HeaderBytes)
+	p.Sleep(fsys.cfg.MetaOpCPU)
+	if size > fsys.meta.sizes[name] {
+		fsys.meta.sizes[name] = size
+	}
+	// The metadata server instructs each data server to reserve layout;
+	// modeled as a metadata-time operation (no data movement).
+	per := fsys.split([]ext.Extent{{Off: 0, Len: size}})
+	for i, srv := range fsys.servers {
+		if len(per[i]) > 0 {
+			srv.Store.Create(name, per[i][len(per[i])-1].End())
+		}
+	}
+	fsys.net.Send(p, fsys.meta.Node, c.Node, fsys.cfg.HeaderBytes)
+}
+
+// Open contacts the metadata server and returns the file size it records.
+func (c *Client) Open(p *sim.Proc, name string) int64 {
+	fsys := c.fsys
+	fsys.net.Send(p, c.Node, fsys.meta.Node, fsys.cfg.HeaderBytes)
+	p.Sleep(fsys.cfg.MetaOpCPU)
+	size := fsys.meta.sizes[name]
+	fsys.net.Send(p, fsys.meta.Node, c.Node, fsys.cfg.HeaderBytes)
+	return size
+}
+
+// Read performs a list-I/O read of the given file-global extents, blocking
+// p until all data has arrived. origin tags the disk requests for the I/O
+// scheduler (CFQ queues by origin).
+func (c *Client) Read(p *sim.Proc, name string, extents []ext.Extent, origin int) {
+	c.transfer(p, name, extents, origin, false)
+}
+
+// Write performs a list-I/O write; see Read.
+func (c *Client) Write(p *sim.Proc, name string, extents []ext.Extent, origin int) {
+	c.transfer(p, name, extents, origin, true)
+	fsys := c.fsys
+	if n := ext.Total(extents); n > 0 {
+		hi := int64(0)
+		for _, e := range extents {
+			if e.End() > hi {
+				hi = e.End()
+			}
+		}
+		if hi > fsys.meta.sizes[name] {
+			fsys.meta.sizes[name] = hi
+		}
+	}
+}
+
+func (c *Client) transfer(p *sim.Proc, name string, extents []ext.Extent, origin int, write bool) {
+	fsys := c.fsys
+	per := fsys.split(extents)
+	var reqs []*serverReq
+	for i, lst := range per {
+		if len(lst) == 0 {
+			continue
+		}
+		srv := fsys.servers[i]
+		req := &serverReq{
+			file:    name,
+			extents: lst,
+			write:   write,
+			origin:  origin,
+			client:  c.Node,
+			done:    fsys.k.NewSignal(),
+		}
+		msg := fsys.cfg.HeaderBytes + fsys.cfg.ExtentDescBytes*int64(len(lst))
+		if write {
+			msg += ext.Total(lst) // write payload travels with the request
+		}
+		fsys.net.Send(p, c.Node, srv.Node, msg)
+		srv.queue.Put(req)
+		reqs = append(reqs, req)
+	}
+	for _, req := range reqs {
+		for !req.fin {
+			req.done.Wait(p)
+		}
+	}
+}

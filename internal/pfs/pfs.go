@@ -1,0 +1,216 @@
+// Package pfs models a PVFS2-like parallel file system: files are striped
+// in fixed-size units (64 KB default) across data servers; a metadata
+// server handles open/create; clients issue read/write requests carrying
+// extent lists (list I/O, paper ref [6]) directly to the data servers.
+// Like PVFS2, there is no client-side data cache.
+package pfs
+
+import (
+	"fmt"
+	"time"
+
+	"dualpar/internal/ext"
+	"dualpar/internal/fs"
+	"dualpar/internal/netsim"
+	"dualpar/internal/sim"
+)
+
+// Config tunes the file system.
+type Config struct {
+	// StripeUnit is the striping unit in bytes (PVFS2 default 64 KB).
+	StripeUnit int64
+	// WorkersPerServer bounds the number of concurrently served requests
+	// per data server.
+	WorkersPerServer int
+	// RequestCPU is the per-request server processing cost.
+	RequestCPU time.Duration
+	// HeaderBytes is the fixed size of a request/response header;
+	// ExtentDescBytes is the per-extent encoding cost in a list request.
+	HeaderBytes     int64
+	ExtentDescBytes int64
+	// MetaOpCPU is the metadata server's per-operation cost.
+	MetaOpCPU time.Duration
+	// RequestJitter is the relative half-width of the uniform jitter on
+	// RequestCPU (0.5 means [0.5x, 1.5x]). OS and service-time noise is
+	// what desynchronizes otherwise lockstepped clients.
+	RequestJitter float64
+	// ClientDiskOrigins tags disk requests with the requesting client's
+	// origin instead of the server's own identity. PVFS2 performs server
+	// I/O from the pvfs2-server process, so the kernel elevator sees one
+	// origin per server (the default, false); the true setting is an
+	// ablation that exposes CFQ's per-process queueing to client identity.
+	ClientDiskOrigins bool
+}
+
+// DefaultConfig matches the paper's PVFS2 2.8.2 setup.
+func DefaultConfig() Config {
+	return Config{
+		StripeUnit:       64 << 10,
+		WorkersPerServer: 16,
+		RequestCPU:       50 * time.Microsecond,
+		HeaderBytes:      256,
+		ExtentDescBytes:  16,
+		MetaOpCPU:        100 * time.Microsecond,
+		RequestJitter:    0.5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.StripeUnit <= 0:
+		return fmt.Errorf("pfs: StripeUnit %d", c.StripeUnit)
+	case c.WorkersPerServer <= 0:
+		return fmt.Errorf("pfs: WorkersPerServer %d", c.WorkersPerServer)
+	case c.RequestCPU < 0 || c.MetaOpCPU < 0:
+		return fmt.Errorf("pfs: negative CPU cost")
+	case c.HeaderBytes < 0 || c.ExtentDescBytes < 0:
+		return fmt.Errorf("pfs: negative encoding size")
+	case c.RequestJitter < 0 || c.RequestJitter > 1:
+		return fmt.Errorf("pfs: RequestJitter %g", c.RequestJitter)
+	}
+	return nil
+}
+
+// FileSystem ties the metadata server and data servers together.
+type FileSystem struct {
+	k       *sim.Kernel
+	net     *netsim.Network
+	cfg     Config
+	servers []*Server
+	meta    *MetaServer
+}
+
+// Server is one data server.
+type Server struct {
+	fsys  *FileSystem
+	Index int // position in the stripe rotation
+	Node  int // network node id
+	Store *fs.Store
+	queue *sim.Queue[*serverReq]
+}
+
+// MetaServer handles open/create and hosts DualPar's EMC daemon (the core
+// package attaches it).
+type MetaServer struct {
+	Node  int
+	sizes map[string]int64
+}
+
+type serverReq struct {
+	file    string
+	extents []ext.Extent // server-local byte space
+	write   bool
+	origin  int
+	client  int // requesting network node
+	done    *sim.Signal
+	fin     bool
+}
+
+// New assembles a file system from per-server stores. serverNodes[i] is the
+// network node of data server i.
+func New(k *sim.Kernel, net *netsim.Network, cfg Config, metaNode int, serverNodes []int, stores []*fs.Store) *FileSystem {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(serverNodes) == 0 || len(serverNodes) != len(stores) {
+		panic("pfs: servers and stores mismatch")
+	}
+	fsys := &FileSystem{
+		k:    k,
+		net:  net,
+		cfg:  cfg,
+		meta: &MetaServer{Node: metaNode, sizes: make(map[string]int64)},
+	}
+	for i, node := range serverNodes {
+		srv := &Server{
+			fsys:  fsys,
+			Index: i,
+			Node:  node,
+			Store: stores[i],
+			queue: sim.NewQueue[*serverReq](k),
+		}
+		fsys.servers = append(fsys.servers, srv)
+		for w := 0; w < cfg.WorkersPerServer; w++ {
+			k.Spawn(fmt.Sprintf("pfs/server%d/worker%d", i, w), srv.workerLoop)
+		}
+	}
+	return fsys
+}
+
+// Config returns the file system configuration.
+func (fsys *FileSystem) Config() Config { return fsys.cfg }
+
+// Servers returns the data servers.
+func (fsys *FileSystem) Servers() []*Server { return fsys.servers }
+
+// Meta returns the metadata server.
+func (fsys *FileSystem) Meta() *MetaServer { return fsys.meta }
+
+// NumServers reports the stripe width.
+func (fsys *FileSystem) NumServers() int { return len(fsys.servers) }
+
+// serverOriginBase keeps server-process origins clear of client origins.
+const serverOriginBase = 1 << 21
+
+// DiskOrigin is the origin tag this server's disk requests carry for a
+// request from the given client origin.
+func (srv *Server) DiskOrigin(clientOrigin int) int {
+	if srv.fsys.cfg.ClientDiskOrigins {
+		return clientOrigin
+	}
+	return serverOriginBase + srv.Index
+}
+
+func (srv *Server) workerLoop(p *sim.Proc) {
+	fsys := srv.fsys
+	for {
+		req := srv.queue.Get(p)
+		cpu := fsys.cfg.RequestCPU
+		if j := fsys.cfg.RequestJitter; j > 0 && cpu > 0 {
+			f := 1 + (fsys.k.Rand().Float64()*2-1)*j
+			cpu = time.Duration(float64(cpu) * f)
+		}
+		p.Sleep(cpu)
+		origin := srv.DiskOrigin(req.origin)
+		if req.write {
+			srv.Store.WriteMulti(p, req.file, req.extents, origin)
+			// Small acknowledgment back to the client.
+			fsys.net.Send(p, srv.Node, req.client, fsys.cfg.HeaderBytes)
+		} else {
+			srv.Store.ReadMulti(p, req.file, req.extents, origin)
+			fsys.net.Send(p, srv.Node, req.client, fsys.cfg.HeaderBytes+ext.Total(req.extents))
+		}
+		req.fin = true
+		req.done.Broadcast()
+	}
+}
+
+// split maps file-global extents to per-server local extent lists.
+func (fsys *FileSystem) split(extents []ext.Extent) [][]ext.Extent {
+	n := int64(fsys.NumServers())
+	unit := fsys.cfg.StripeUnit
+	out := make([][]ext.Extent, n)
+	for _, piece := range ext.SplitAt(extents, unit) {
+		stripe := piece.Off / unit
+		srv := stripe % n
+		local := (stripe/n)*unit + piece.Off%unit
+		lst := out[srv]
+		if len(lst) > 0 && lst[len(lst)-1].End() == local {
+			lst[len(lst)-1].Len += piece.Len
+			out[srv] = lst
+		} else {
+			out[srv] = append(lst, ext.Extent{Off: local, Len: piece.Len})
+		}
+	}
+	return out
+}
+
+// LocalOffset translates a file-global offset to (server index, local
+// offset) — exposed for layout-aware tooling and tests.
+func (fsys *FileSystem) LocalOffset(off int64) (server int, local int64) {
+	unit := fsys.cfg.StripeUnit
+	stripe := off / unit
+	n := int64(fsys.NumServers())
+	return int(stripe % n), (stripe/n)*unit + off%unit
+}

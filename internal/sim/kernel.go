@@ -1,0 +1,156 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// A Kernel advances a virtual clock by executing events in (time, sequence)
+// order. Simulated activities are written as ordinary Go functions running in
+// Procs; a Proc blocks in virtual time with Sleep, Signal.Wait, Queue.Get,
+// or Resource.Acquire. Although each Proc runs on its own goroutine, the
+// kernel enforces strict alternation — exactly one Proc (or the kernel
+// itself) executes at any instant — so simulations are fully deterministic:
+// the same program and seed yield the same event order and results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled callback in virtual time.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation. The zero value is not usable; create
+// one with NewKernel.
+type Kernel struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	parked  chan struct{} // handshake: running Proc yields control back
+	failure *procPanic    // first panic raised inside a Proc
+	nprocs  int           // live (spawned, not yet finished) procs
+	stopped bool
+	rng     *rand.Rand
+}
+
+// procPanic carries a panic out of a Proc goroutine into Run.
+type procPanic struct {
+	proc  string
+	value interface{}
+}
+
+// NewKernel returns a kernel with its clock at zero and a deterministic
+// random source derived from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		parked: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from kernel or Proc context.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// schedule enqueues fn to run at absolute virtual time at.
+func (k *Kernel) schedule(at time.Duration, fn func()) *event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
+	}
+	e := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run in kernel context after delay d. fn must not
+// block in virtual time; use Spawn for blocking activities.
+func (k *Kernel) After(d time.Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	k.schedule(k.now+d, fn)
+}
+
+// Every schedules fn to run in kernel context every period, starting one
+// period from now, until the simulation ends or fn returns false.
+func (k *Kernel) Every(period time.Duration, fn func() bool) {
+	if period <= 0 {
+		panic("sim: non-positive period")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			k.schedule(k.now+period, tick)
+		}
+	}
+	k.schedule(k.now+period, tick)
+}
+
+// Stop halts Run after the current event completes. Pending events remain
+// queued and a subsequent Run continues from them.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until none remain, Stop is called, or a Proc panics
+// (in which case the panic is re-raised on the caller's goroutine).
+func (k *Kernel) Run() {
+	k.RunUntil(-1)
+}
+
+// RunUntil executes events with timestamps <= deadline and then sets the
+// clock to deadline. A negative deadline means run to completion. Events
+// beyond the deadline stay queued for later Run/RunUntil calls.
+func (k *Kernel) RunUntil(deadline time.Duration) {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		next := k.events[0]
+		if deadline >= 0 && next.at > deadline {
+			break
+		}
+		heap.Pop(&k.events)
+		k.now = next.at
+		next.fn()
+		if k.failure != nil {
+			f := k.failure
+			k.failure = nil
+			panic(fmt.Sprintf("sim: proc %q panicked: %v", f.proc, f.value))
+		}
+	}
+	if deadline >= 0 && k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Live reports the number of spawned Procs that have not yet finished.
+func (k *Kernel) Live() int { return k.nprocs }

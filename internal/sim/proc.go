@@ -1,0 +1,77 @@
+package sim
+
+import "time"
+
+// A Proc is a simulated process: a goroutine whose execution is interleaved
+// with virtual time under kernel control. Proc methods must only be called
+// from the Proc's own goroutine (the function passed to Spawn).
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+}
+
+// Spawn creates a Proc named name running fn, starting at the current
+// virtual time. It may be called from kernel context (before Run) or from
+// another Proc.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnAt creates a Proc that starts at absolute virtual time at.
+func (k *Kernel) SpawnAt(at time.Duration, name string, fn func(*Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.nprocs++
+	k.schedule(at, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil && k.failure == nil {
+					k.failure = &procPanic{proc: p.name, value: r}
+				}
+				k.nprocs--
+				k.parked <- struct{}{} // hand control back to the kernel
+			}()
+			fn(p)
+		}()
+		<-k.parked
+	})
+	return p
+}
+
+// Name returns the Proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this Proc runs under.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// park hands control to the kernel and blocks until resumed by a scheduled
+// wake event.
+func (p *Proc) park() {
+	p.k.parked <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules this Proc to resume at absolute time at. It runs in kernel
+// context.
+func (p *Proc) wakeAt(at time.Duration) {
+	p.k.schedule(at, func() {
+		p.resume <- struct{}{}
+		<-p.k.parked
+	})
+}
+
+// Sleep suspends the Proc for duration d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.wakeAt(p.k.now + d)
+	p.park()
+}
+
+// Yield reschedules the Proc at the current time, letting every other
+// activity already queued at this instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }

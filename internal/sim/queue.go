@@ -1,0 +1,54 @@
+package sim
+
+// A Queue is an unbounded FIFO channel in virtual time. Put never blocks;
+// Get blocks the calling Proc until an item is available. Multiple getters
+// are served in wakeup order, deterministically.
+type Queue[T any] struct {
+	k        *Kernel
+	items    []T
+	nonEmpty *Signal
+}
+
+// NewQueue returns an empty queue bound to kernel k.
+func NewQueue[T any](k *Kernel) *Queue[T] {
+	return &Queue[T]{k: k, nonEmpty: k.NewSignal()}
+}
+
+// Put appends v and wakes any blocked getters. It may be called from kernel
+// or Proc context.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.nonEmpty.Broadcast()
+}
+
+// Get removes and returns the head item, blocking p while the queue is
+// empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.nonEmpty.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryGet removes and returns the head item if one is present.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Drain removes and returns all queued items.
+func (q *Queue[T]) Drain() []T {
+	items := q.items
+	q.items = nil
+	return items
+}

@@ -1,0 +1,74 @@
+package sim
+
+import "time"
+
+// A Signal is a broadcast condition variable in virtual time. Procs block on
+// Wait or WaitTimeout; Broadcast wakes every currently blocked waiter. A
+// Signal has no memory: a Broadcast with no waiters is a no-op.
+type Signal struct {
+	k       *Kernel
+	waiters []*waiter
+}
+
+type waiter struct {
+	p        *Proc
+	fired    bool // woken by Broadcast or timeout; skip further wakes
+	timedOut bool
+}
+
+// NewSignal returns a Signal bound to kernel k.
+func (k *Kernel) NewSignal() *Signal { return &Signal{k: k} }
+
+// Wait blocks p until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	w := &waiter{p: p}
+	s.waiters = append(s.waiters, w)
+	p.park()
+}
+
+// WaitTimeout blocks p until the next Broadcast or until d elapses,
+// whichever comes first. It reports whether the Proc was woken by a
+// Broadcast (false means the wait timed out).
+func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
+	if d < 0 {
+		panic("sim: negative timeout")
+	}
+	w := &waiter{p: p}
+	s.waiters = append(s.waiters, w)
+	s.k.After(d, func() {
+		if w.fired {
+			return
+		}
+		w.fired = true
+		w.timedOut = true
+		w.p.wakeAt(s.k.now)
+	})
+	p.park()
+	return !w.timedOut
+}
+
+// Broadcast wakes all Procs currently blocked on the Signal. Wakeups are
+// scheduled at the current time, after events already queued at this
+// instant. Broadcast may be called from kernel or Proc context.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		w.p.wakeAt(s.k.now)
+	}
+}
+
+// WaiterCount reports how many Procs are currently blocked on the Signal.
+func (s *Signal) WaiterCount() int {
+	n := 0
+	for _, w := range s.waiters {
+		if !w.fired {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,124 @@
+package workloads
+
+import (
+	"time"
+
+	"dualpar/internal/ext"
+)
+
+// BTIO models the NAS BT-IO benchmark (§V-A): the solver alternates compute
+// steps with writes of the solution array. Each rank's footprint in a step
+// is a fine-grained interleaving whose block size shrinks as process count
+// grows — the paper reports 4-byte requests at 256 processes; we use
+// BlockScale/P (BlockScale default 1024, giving 64 B at 16 procs, 16 B at
+// 64, 4 B at 256).
+type BTIO struct {
+	Procs       int
+	TotalBytes  int64 // volume written over all steps
+	Steps       int
+	BlockScale  int64 // per-rank block = BlockScale / Procs bytes
+	StepCompute time.Duration
+	Read        bool // read the array back instead of writing (btio read phase)
+	FileName    string
+}
+
+// DefaultBTIO matches the paper's class-C run shape with scaled volume.
+func DefaultBTIO() BTIO {
+	return BTIO{
+		Procs:       64,
+		TotalBytes:  8 << 20,
+		Steps:       4,
+		BlockScale:  1024,
+		StepCompute: 50 * time.Millisecond,
+		FileName:    "btio.dat",
+	}
+}
+
+// Name implements Program.
+func (b BTIO) Name() string { return "btio" }
+
+// Ranks implements Program.
+func (b BTIO) Ranks() int { return b.Procs }
+
+// BlockBytes is the per-rank interleave block.
+func (b BTIO) BlockBytes() int64 {
+	bl := b.BlockScale / int64(b.Procs)
+	if bl < 4 {
+		bl = 4
+	}
+	return bl
+}
+
+// StepBytes is the volume written per step across all ranks.
+func (b BTIO) StepBytes() int64 {
+	step := b.TotalBytes / int64(b.Steps)
+	// Round to a whole number of interleave rounds.
+	round := b.BlockBytes() * int64(b.Procs)
+	if step < round {
+		step = round
+	}
+	return step / round * round
+}
+
+// Files implements Program.
+func (b BTIO) Files() []FileSpec {
+	return []FileSpec{{
+		Name:      b.FileName,
+		Size:      b.StepBytes() * int64(b.Steps),
+		Precreate: b.Read,
+	}}
+}
+
+// NewRank implements Program.
+func (b BTIO) NewRank(r int) RankGen {
+	if b.FileName == "" {
+		panic("workloads: BTIO.FileName empty")
+	}
+	return &btioGen{b: b, rank: r}
+}
+
+type btioGen struct {
+	b     BTIO
+	rank  int
+	step  int
+	state int // 0: compute, 1: io, 2: barrier
+}
+
+func (g *btioGen) Next(env Env) Op {
+	b := g.b
+	if g.step >= b.Steps {
+		return Op{Kind: OpDone}
+	}
+	switch g.state {
+	case 0:
+		g.state = 1
+		if b.StepCompute > 0 {
+			return Op{Kind: OpCompute, Dur: b.StepCompute}
+		}
+		fallthrough
+	case 1:
+		g.state = 2
+		bl := b.BlockBytes()
+		round := bl * int64(b.Procs)
+		rounds := b.StepBytes() / round
+		base := int64(g.step)*b.StepBytes() + int64(g.rank)*bl
+		extents := make([]ext.Extent, 0, rounds)
+		for i := int64(0); i < rounds; i++ {
+			extents = append(extents, ext.Extent{Off: base + i*round, Len: bl})
+		}
+		kind := OpWrite
+		if b.Read {
+			kind = OpRead
+		}
+		return Op{Kind: kind, File: b.FileName, Extents: extents}
+	default:
+		g.state = 0
+		g.step++
+		return Op{Kind: OpBarrier}
+	}
+}
+
+func (g *btioGen) Clone() RankGen {
+	cp := *g
+	return &cp
+}

@@ -1,0 +1,71 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace checks that arbitrary input never panics the trace parser
+// and that accepted traces satisfy the replay invariants.
+func FuzzParseTrace(f *testing.F) {
+	f.Add(sampleTrace)
+	f.Add("0,compute,100\n0,read,f,0,10\n")
+	f.Add("0,barrier\n1,barrier\n")
+	f.Add("#comment only\n")
+	f.Add("0,write,out,5,5\n0,write,out,0,5\n")
+	f.Add("3,read,deep,1000000,1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		rep, err := ParseTrace("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if rep.Ranks() <= 0 {
+			t.Fatalf("accepted trace with %d ranks", rep.Ranks())
+		}
+		// Every generator must terminate (traces are finite) and only emit
+		// well-formed ops.
+		for r := 0; r < rep.Ranks(); r++ {
+			g := rep.NewRank(r)
+			for i := 0; ; i++ {
+				if i > 1_000_000 {
+					t.Fatalf("rank %d did not finish", r)
+				}
+				op := g.Next(TrueEnv{})
+				if op.Kind == OpDone {
+					break
+				}
+				for _, e := range op.Extents {
+					if e.Off < 0 || e.Len <= 0 {
+						t.Fatalf("malformed extent %+v accepted", e)
+					}
+				}
+				if op.Dur < 0 {
+					t.Fatalf("negative compute accepted")
+				}
+			}
+		}
+		// Precreated file sizes must cover every read.
+		sizes := make(map[string]int64)
+		for _, fs := range rep.Files() {
+			if fs.Precreate {
+				sizes[fs.Name] = fs.Size
+			}
+		}
+		for r := 0; r < rep.Ranks(); r++ {
+			g := rep.NewRank(r)
+			for {
+				op := g.Next(TrueEnv{})
+				if op.Kind == OpDone {
+					break
+				}
+				if op.Kind == OpRead {
+					for _, e := range op.Extents {
+						if sz, ok := sizes[op.File]; ok && e.End() > sz {
+							t.Fatalf("read %v beyond precreated size %d of %s", e, sz, op.File)
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"time"
+
+	"dualpar/internal/ext"
+)
+
+// MPIIOTest models mpi-io-test from the PVFS2 software package: process i
+// accesses the (i + P*j)-th segment at call j, so the program presents a
+// fully sequential pattern to the storage system. A barrier is called
+// frequently (every call by default), which the paper identifies as the
+// reason requests cannot pile up at the disk scheduler.
+type MPIIOTest struct {
+	Procs        int
+	FileBytes    int64
+	ReqBytes     int64
+	Write        bool
+	BarrierEvery int // calls between barriers; 0 disables
+	ComputePerOp time.Duration
+	FileName     string
+}
+
+// DefaultMPIIOTest matches §V: 64 processes, 16 KB requests (file size
+// scaled).
+func DefaultMPIIOTest() MPIIOTest {
+	return MPIIOTest{
+		Procs:        64,
+		FileBytes:    256 << 20,
+		ReqBytes:     16 << 10,
+		BarrierEvery: 1,
+		FileName:     "mpi-io-test.dat",
+	}
+}
+
+// Name implements Program.
+func (m MPIIOTest) Name() string { return "mpi-io-test" }
+
+// Ranks implements Program.
+func (m MPIIOTest) Ranks() int { return m.Procs }
+
+// Files implements Program.
+func (m MPIIOTest) Files() []FileSpec {
+	return []FileSpec{{Name: m.FileName, Size: m.FileBytes, Precreate: !m.Write}}
+}
+
+// Calls returns the per-rank call count.
+func (m MPIIOTest) Calls() int {
+	return int(m.FileBytes / (int64(m.Procs) * m.ReqBytes))
+}
+
+// NewRank implements Program.
+func (m MPIIOTest) NewRank(r int) RankGen {
+	if m.FileName == "" {
+		panic("workloads: MPIIOTest.FileName empty")
+	}
+	return &mpiioTestGen{m: m, rank: r, calls: m.Calls()}
+}
+
+type mpiioTestGen struct {
+	m     MPIIOTest
+	rank  int
+	calls int
+	call  int
+	state int // 0: compute (optional), 1: io, 2: barrier (optional)
+}
+
+func (g *mpiioTestGen) Next(env Env) Op {
+	for {
+		if g.call >= g.calls {
+			return Op{Kind: OpDone}
+		}
+		switch g.state {
+		case 0:
+			g.state = 1
+			if g.m.ComputePerOp > 0 {
+				return Op{Kind: OpCompute, Dur: g.m.ComputePerOp}
+			}
+		case 1:
+			g.state = 2
+			seg := int64(g.rank) + int64(g.m.Procs)*int64(g.call)
+			kind := OpRead
+			if g.m.Write {
+				kind = OpWrite
+			}
+			return Op{
+				Kind:    kind,
+				File:    g.m.FileName,
+				Extents: []ext.Extent{{Off: seg * g.m.ReqBytes, Len: g.m.ReqBytes}},
+			}
+		default:
+			barrier := g.m.BarrierEvery > 0 && (g.call+1)%g.m.BarrierEvery == 0
+			g.call++
+			g.state = 0
+			if barrier {
+				return Op{Kind: OpBarrier}
+			}
+		}
+	}
+}
+
+func (g *mpiioTestGen) Clone() RankGen {
+	cp := *g
+	return &cp
+}

@@ -1,0 +1,105 @@
+// Package workloads implements the paper's benchmark programs — demo (§II),
+// mpi-io-test, hpio, ior-mpi-io, noncontig, S3asim, BTIO (§V-A), and the
+// data-dependent reader of Table III — as deterministic per-rank operation
+// generators.
+//
+// A rank is a state machine emitting Compute/Read/Write/Barrier operations.
+// Generators are cloneable: DualPar's ghost pre-execution clones a rank's
+// generator at its suspension point and runs it forward, the simulation
+// analogue of the paper's fork-based pre-execution (computation retained, no
+// source changes). Data-dependent access is expressed through Env: a
+// generator may derive its next offsets from the *content* of previously
+// read bytes, and a ghost that has not actually fetched those bytes sees
+// zeros — reproducing the paper's mis-prefetch pathology.
+package workloads
+
+import (
+	"hash/fnv"
+	"time"
+
+	"dualpar/internal/ext"
+)
+
+// OpKind classifies a rank operation.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpDone OpKind = iota
+	OpCompute
+	OpRead
+	OpWrite
+	OpBarrier
+)
+
+// Op is one step of a rank's execution.
+type Op struct {
+	Kind    OpKind
+	Dur     time.Duration // OpCompute
+	File    string        // OpRead/OpWrite
+	Extents []ext.Extent  // OpRead/OpWrite
+}
+
+// Bytes returns the I/O volume of the op.
+func (o Op) Bytes() int64 { return ext.Total(o.Extents) }
+
+// Env exposes file content to a generator. During normal execution Value
+// returns the true stored content; during ghost pre-execution it returns 0
+// for data whose read was recorded but not served.
+type Env interface {
+	Value(file string, off int64) int64
+}
+
+// TrueEnv is the normal-execution environment: all previously read data is
+// available.
+type TrueEnv struct{}
+
+// Value implements Env with the true file content.
+func (TrueEnv) Value(file string, off int64) int64 { return Content(file, off) }
+
+// Content is the deterministic content function: the 8-byte word at a file
+// offset. The storage stack stores no data, so programs and the simulation
+// agree on content through this function.
+func Content(file string, off int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(file))
+	var buf [8]byte
+	v := uint64(off)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// FileSpec names a file a program uses and the size to pre-create it with
+// (0 = created by writing).
+type FileSpec struct {
+	Name      string
+	Size      int64
+	Precreate bool
+}
+
+// RankGen generates one rank's operation stream.
+type RankGen interface {
+	// Next returns the next operation (OpDone at the end, repeatedly).
+	Next(env Env) Op
+	// Clone returns an independent generator at the current position.
+	Clone() RankGen
+}
+
+// Program describes one MPI application.
+type Program interface {
+	Name() string
+	Ranks() int
+	// Files lists the files the program touches, for harness pre-creation.
+	Files() []FileSpec
+	// NewRank returns rank r's generator (from its initial state).
+	NewRank(r int) RankGen
+}
+
+// extentAlias shortens composite literals in generator code.
+type extentAlias = ext.Extent
+
+// alignDown rounds v down to a multiple of unit (unit > 0).
+func alignDown(v, unit int64) int64 { return v / unit * unit }
