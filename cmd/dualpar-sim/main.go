@@ -6,6 +6,11 @@
 //
 //	dualpar-sim -workload mpi-io-test -mode dualpar -procs 64 -mb 128 [-write]
 //	            [-servers 9] [-sched cfq|deadline|noop] [-seed N]
+//	            [-trace out.json] [-stats]
+//
+// -trace writes a Chrome trace-event JSON of every I/O request's journey
+// through the stack (load it at ui.perfetto.dev); -stats prints the metrics
+// registry (latency histograms, counters, gauges) after the run.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"dualpar/internal/cluster"
 	"dualpar/internal/core"
 	"dualpar/internal/iosched"
+	"dualpar/internal/obs"
 	"dualpar/internal/workloads"
 )
 
@@ -31,6 +37,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	emclog := flag.Bool("emclog", false, "print EMC's per-slot decisions")
 	slot := flag.Duration("slot", 0, "EMC sampling slot (default 1s)")
+	traceOut := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
+	stats := flag.Bool("stats", false, "print the metrics registry after the run")
 	flag.Parse()
 
 	prog, err := buildWorkload(*workload, *procs, *mbytes<<20, *write)
@@ -58,6 +66,11 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
 		os.Exit(2)
+	}
+	var collector *obs.Collector
+	if *traceOut != "" || *stats {
+		collector = obs.NewCollector()
+		ccfg.Obs = collector
 	}
 	cl := cluster.New(ccfg)
 	dcfg := core.DefaultConfig()
@@ -110,6 +123,30 @@ func main() {
 			fmt.Printf("[%.2fs %s] ", sw.At.Seconds(), state)
 		}
 		fmt.Println()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := collector.WriteTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:       %s (%d spans, %d instants; open at ui.perfetto.dev)\n",
+			*traceOut, len(collector.Spans()), len(collector.Instants()))
+	}
+	if *stats {
+		fmt.Println()
+		if err := collector.WriteSummary(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"dualpar/internal/fs"
 	"dualpar/internal/iosched"
 	"dualpar/internal/netsim"
+	"dualpar/internal/obs"
 	"dualpar/internal/pfs"
 	"dualpar/internal/sim"
 )
@@ -38,6 +39,11 @@ type Config struct {
 	// server (forward-looking ablation: the paper's premise is seek-bound
 	// storage).
 	SSD *disk.SSDParams
+	// Obs, when non-nil, enables simulation-wide tracing and metrics: it is
+	// threaded through the network, the data servers' storage stacks, and
+	// the block-layer dispatchers. Nil (the default) costs one nil check per
+	// instrumentation point and leaves the virtual timeline untouched.
+	Obs *obs.Collector
 }
 
 // DefaultConfig matches the paper's platform: 9 data servers + 1 metadata
@@ -114,6 +120,13 @@ func New(cfg Config) *Cluster {
 		nodes = append(nodes, 1+i)
 	}
 	fsys := pfs.New(k, net, cfg.PFS, 0, nodes, stores)
+	if cfg.Obs != nil {
+		net.SetObs(cfg.Obs)
+		fsys.SetObs(cfg.Obs)
+		for _, st := range stores {
+			st.SetObs(cfg.Obs)
+		}
+	}
 	return &Cluster{K: k, Net: net, FS: fsys, Stores: stores, cfg: cfg}
 }
 
@@ -122,6 +135,9 @@ const flusherOriginBase = 1 << 20
 
 // Config returns the cluster's configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// Obs returns the cluster-wide collector (nil when tracing is off).
+func (c *Cluster) Obs() *obs.Collector { return c.cfg.Obs }
 
 // ComputeNodes returns the compute-node ids.
 func (c *Cluster) ComputeNodes() []int {

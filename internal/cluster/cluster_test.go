@@ -6,6 +6,7 @@ import (
 
 	"dualpar/internal/ext"
 	"dualpar/internal/iosched"
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
 
@@ -47,7 +48,7 @@ func TestEndToEndReadThroughCluster(t *testing.T) {
 	cl.K.Spawn("client", func(p *sim.Proc) {
 		client.Create(p, "f", 8<<20)
 		t0 := p.Now()
-		client.Read(p, "f", []ext.Extent{{Off: 0, Len: 8 << 20}}, 1)
+		client.Read(p, "f", []ext.Extent{{Off: 0, Len: 8 << 20}}, 1, obs.Ctx{})
 		took = p.Now() - t0
 	})
 	cl.K.RunUntil(time.Minute)

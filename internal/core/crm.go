@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dualpar/internal/ext"
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
 
@@ -41,6 +42,8 @@ func (pr *ProgramRun) crmServe(p *sim.Proc, wishFiles []string, wish map[string]
 				ratio = 0
 			}
 			pr.misSamples = append(pr.misSamples, ratio)
+			pr.obs().Instant("cache.misprefetch", pr.ctrlTrack(), p.Now(),
+				obs.F64("ratio", ratio))
 			pr.checkMisPrefetchFastPath()
 		}
 		pr.consumedCycle = 0
@@ -96,14 +99,24 @@ func (pr *ProgramRun) issueByHome(p *sim.Proc, file string, extents []ext.Extent
 		k.Spawn(fmt.Sprintf("prog%d/crm-home%d", pr.id, home), func(hp *sim.Proc) {
 			defer wg.Done()
 			cl := pr.r.cl.FS.Client(home)
+			rc := pr.obs().StartRequest(fmt.Sprintf("prog%d/crm/home%d", pr.id, home))
+			start := hp.Now()
+			verb := "crm-read"
 			switch op {
 			case crmWrite:
-				cl.Write(hp, file, batch, pr.crmOrigin)
+				verb = "crm-writeback"
+				cl.Write(hp, file, batch, pr.crmOrigin, rc)
 			case crmRead:
-				cl.Read(hp, file, batch, pr.crmOrigin)
+				cl.Read(hp, file, batch, pr.crmOrigin, rc)
 			case crmPrefetch:
-				cl.Read(hp, file, batch, pr.crmOrigin)
+				verb = "crm-prefetch"
+				cl.Read(hp, file, batch, pr.crmOrigin, rc)
 				pr.cache.PutClean(hp, home, file, batch)
+			}
+			if rc.Traced() {
+				pr.obs().Span(rc.ID, obs.StageRequest, rc.Track, start, hp.Now(),
+					obs.Str("verb", verb), obs.I64("bytes", ext.Total(batch)),
+					obs.I64("extents", int64(len(batch))))
 			}
 		})
 	}

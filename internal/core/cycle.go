@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dualpar/internal/ext"
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 	"dualpar/internal/workloads"
 )
@@ -72,6 +73,8 @@ func (c *controller) join(p *sim.Proc) int {
 	if c.state == ctrlIdle {
 		c.state = ctrlFilling
 		c.stopGhosts = false
+		c.pr.obs().Instant("cycle.fill", c.pr.ctrlTrack(), p.Now(),
+			obs.I64("gen", int64(c.gen)))
 		c.armDeadline()
 	}
 	c.participants++
@@ -108,6 +111,7 @@ func (c *controller) armDeadline() {
 // position, and the rank sleeps until the cycle is served.
 func (c *controller) waitReadCycle(p *sim.Proc, rank int, gen workloads.RankGen, op workloads.Op) {
 	myGen := c.join(p)
+	c.noteSuspend(p, rank, "read-miss")
 	// The triggering request itself is always served (§IV-C: prefetch
 	// includes the data the process and its peers are anticipated to read,
 	// starting with what it is blocked on).
@@ -117,16 +121,31 @@ func (c *controller) waitReadCycle(p *sim.Proc, rank int, gen workloads.RankGen,
 	for c.gen == myGen {
 		c.resume.Wait(p)
 	}
+	c.noteResume(p, rank)
 }
 
 // waitWriteback suspends a rank whose dirty quota filled until the next
 // cycle's writeback drains the cache. The caller accounts the time.
 func (c *controller) waitWriteback(p *sim.Proc, rank int) {
 	myGen := c.join(p)
+	c.noteSuspend(p, rank, "write-quota")
 	c.maybeServe()
 	for c.gen == myGen {
 		c.resume.Wait(p)
 	}
+	c.noteResume(p, rank)
+}
+
+// noteSuspend and noteResume mark one rank's suspension window on its own
+// trace track.
+func (c *controller) noteSuspend(p *sim.Proc, rank int, why string) {
+	c.pr.obs().Instant("rank.suspend", fmt.Sprintf("prog%d/rank%d", c.pr.id, rank),
+		p.Now(), obs.Str("why", why), obs.I64("gen", int64(c.gen)))
+}
+
+func (c *controller) noteResume(p *sim.Proc, rank int) {
+	c.pr.obs().Instant("rank.resume", fmt.Sprintf("prog%d/rank%d", c.pr.id, rank),
+		p.Now(), obs.I64("gen", int64(c.gen)))
 }
 
 // startGhost forks the pre-execution for one suspended rank. The ghost
@@ -233,6 +252,8 @@ func (c *controller) serve() {
 	}
 	c.state = ctrlServing
 	c.stopGhosts = true
+	c.pr.obs().Instant("cycle.serve", c.pr.ctrlTrack(), c.pr.r.cl.K.Now(),
+		obs.I64("gen", int64(c.gen)), obs.I64("participants", int64(c.participants)))
 	// Wake sleeping ghosts so they can flush their pipelined overflow
 	// before the snapshot; their wakeups run before the After(0) event.
 	c.abort.Broadcast()
@@ -261,6 +282,8 @@ func (c *controller) serve() {
 // finishCycle resumes all suspended ranks and opens the next generation.
 func (c *controller) finishCycle() {
 	c.cycles++
+	c.pr.obs().Instant("cycle.resume", c.pr.ctrlTrack(), c.pr.r.cl.K.Now(),
+		obs.I64("cycle", c.cycles), obs.I64("gen", int64(c.gen)))
 	c.gen++
 	c.state = ctrlIdle
 	c.participants = 0

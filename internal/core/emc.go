@@ -6,6 +6,7 @@ import (
 
 	"dualpar/internal/disk"
 	"dualpar/internal/mpiio"
+	"dualpar/internal/obs"
 )
 
 // emc is the Execution Mode Control daemon (paper §IV-B). Conceptually it
@@ -201,6 +202,14 @@ func (e *emc) slot() {
 			MisRatio:    mis,
 			DataDriven:  pr.dataDriven,
 		})
+		dd := "off"
+		if pr.dataDriven {
+			dd = "on"
+		}
+		e.r.cl.Obs().Instant("emc.decision", "emc", now,
+			obs.I64("program", int64(i)), obs.F64("io_ratio", ioRatio),
+			obs.F64("improvement", improvement), obs.F64("mis_ratio", mis),
+			obs.Str("data_driven", dd))
 	}
 }
 

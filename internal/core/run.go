@@ -9,6 +9,7 @@ import (
 	"dualpar/internal/memcache"
 	"dualpar/internal/mpi"
 	"dualpar/internal/mpiio"
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 	"dualpar/internal/workloads"
 )
@@ -100,6 +101,7 @@ func (r *Runner) Add(prog workloads.Program, mode Mode, opts AddOptions) *Progra
 	case ModeDualPar, ModeStrategy2:
 		mc := r.cfg.Memcache
 		pr.cache = memcache.New(r.cl.K, r.cl.Net, mc, pr.nodes)
+		pr.cache.SetObs(r.cl.Obs())
 	}
 	if mode == ModeDualPar || mode == ModeDataDriven {
 		pr.ctrl = newController(pr)
@@ -201,6 +203,20 @@ func (pr *ProgramRun) Elapsed() time.Duration {
 // MisSamples returns the recorded per-cycle mis-prefetch ratios.
 func (pr *ProgramRun) MisSamples() []float64 { return pr.misSamples }
 
+// Cycles reports completed data-driven cycles (0 without a controller).
+func (pr *ProgramRun) Cycles() int64 {
+	if pr.ctrl == nil {
+		return 0
+	}
+	return pr.ctrl.cycles
+}
+
+// obs returns the cluster-wide collector (nil when tracing is off).
+func (pr *ProgramRun) obs() *obs.Collector { return pr.r.cl.Obs() }
+
+// ctrlTrack is the program's control-plane trace track.
+func (pr *ProgramRun) ctrlTrack() string { return fmt.Sprintf("prog%d/ctrl", pr.id) }
+
 // setDataDriven flips the mode and logs the transition.
 func (pr *ProgramRun) setDataDriven(on bool) {
 	if pr.dataDriven == on {
@@ -208,6 +224,12 @@ func (pr *ProgramRun) setDataDriven(on bool) {
 	}
 	pr.dataDriven = on
 	pr.ModeSwitches = append(pr.ModeSwitches, ModeSwitch{At: pr.r.cl.K.Now(), On: on})
+	state := "off"
+	if on {
+		state = "on"
+	}
+	pr.obs().Instant("mode.switch", pr.ctrlTrack(), pr.r.cl.K.Now(),
+		obs.I64("program", int64(pr.id)), obs.Str("data_driven", state))
 }
 
 // file returns (opening on demand) the program's handle for a file.
@@ -215,6 +237,7 @@ func (pr *ProgramRun) file(name string) *mpiio.File {
 	f := pr.files[name]
 	if f == nil {
 		f = mpiio.Open(pr.world, pr.r.cl.FS, name, pr.mpiioC, pr.instr, pr.origins)
+		f.SetTrack(fmt.Sprintf("prog%d", pr.id))
 		pr.files[name] = f
 	}
 	return f

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dualpar/internal/ext"
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 	"dualpar/internal/workloads"
 )
@@ -76,7 +77,13 @@ func (s *strategy2) prefetchLoop(p *sim.Proc, rank int) {
 				s.issued[rank] += e.Len
 				s.pr.r.cl.K.Spawn(fmt.Sprintf("prog%d/s2-req%d", s.pr.id, rank), func(rp *sim.Proc) {
 					one := []ext.Extent{e}
-					cl.Read(rp, file, one, s.pr.origins[rank])
+					rc := s.pr.obs().StartRequest(fmt.Sprintf("prog%d/s2/rank%d", s.pr.id, rank))
+					start := rp.Now()
+					cl.Read(rp, file, one, s.pr.origins[rank], rc)
+					if rc.Traced() {
+						s.pr.obs().Span(rc.ID, obs.StageRequest, rc.Track, start, rp.Now(),
+							obs.Str("verb", "s2-prefetch"), obs.I64("bytes", e.Len))
+					}
 					s.pr.cache.PutClean(rp, node, file, one)
 				})
 				// Issuing itself is not free: the pre-execution thread

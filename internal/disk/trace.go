@@ -3,6 +3,7 @@ package disk
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 )
 
@@ -30,16 +31,17 @@ func (t *Trace) Entries() []Entry { return t.entries }
 // Len reports the number of logged accesses.
 func (t *Trace) Len() int { return len(t.entries) }
 
-// Window returns the entries with from <= At < to, the way the paper samples
-// an execution period (e.g. 5.2 s to 5.4 s).
+// Window returns a copy of the entries with from <= At < to, the way the
+// paper samples an execution period (e.g. 5.2 s to 5.4 s). Entries are
+// logged in completion order under a monotonic clock, so the bounds are
+// found by binary search: O(log n + window) on long traces.
 func (t *Trace) Window(from, to time.Duration) []Entry {
-	var out []Entry
-	for _, e := range t.entries {
-		if e.At >= from && e.At < to {
-			out = append(out, e)
-		}
+	lo := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].At >= from })
+	hi := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].At >= to })
+	if lo >= hi {
+		return nil
 	}
-	return out
+	return append([]Entry(nil), t.entries[lo:hi]...)
 }
 
 // Reset discards all entries.

@@ -17,6 +17,7 @@ import (
 	"dualpar/internal/disk"
 	"dualpar/internal/ext"
 	"dualpar/internal/iosched"
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
 
@@ -124,6 +125,9 @@ type Store struct {
 	statWriteBytes int64
 	statCacheHits  int64
 	statCacheMiss  int64
+
+	cPageHit  *obs.Counter
+	cPageMiss *obs.Counter
 }
 
 // New creates a store over dev with the given elevator algorithm. name is
@@ -146,6 +150,15 @@ func New(k *sim.Kernel, name string, dev disk.Device, alg iosched.Algorithm, cfg
 		k.Spawn(name+"/flusher", s.flusherLoop)
 	}
 	return s
+}
+
+// SetObs attaches the observability collector to the store and its
+// dispatcher. Page-cache counters aggregate across stores sharing one
+// collector.
+func (s *Store) SetObs(c *obs.Collector) {
+	s.disp.SetObs(c)
+	s.cPageHit = c.Metrics().Counter("pagecache.hit")
+	s.cPageMiss = c.Metrics().Counter("pagecache.miss")
 }
 
 // Device returns the underlying device (for stats and traces).
@@ -249,13 +262,14 @@ type lbnRun struct {
 // Read serves a read of [off, off+n) of file name for the given origin,
 // charging p the full service time (cache copies plus any disk I/O).
 func (s *Store) Read(p *sim.Proc, name string, off, n int64, origin int) {
-	s.ReadMulti(p, name, []ext.Extent{{Off: off, Len: n}}, origin)
+	s.ReadMulti(p, name, []ext.Extent{{Off: off, Len: n}}, origin, obs.Ctx{})
 }
 
 // ReadMulti serves a list-I/O read: all disk requests for all extents are
 // submitted together (so the elevator sees the whole batch) and p blocks
-// until the last completes.
-func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin int) {
+// until the last completes. rc tags the resulting block-layer requests with
+// the originating traced request (zero Ctx = untraced).
+func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx) {
 	n := ext.Total(extents)
 	if n <= 0 {
 		return
@@ -274,9 +288,11 @@ func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin
 		for pg := first; pg <= last; pg++ {
 			if s.cache.touch(name, pg) {
 				s.statCacheHits++
+				s.cPageHit.Add(1)
 				continue
 			}
 			s.statCacheMiss++
+			s.cPageMiss.Add(1)
 			// Mark the page resident immediately so overlapping concurrent
 			// readers do not duplicate the fetch. (A real kernel would make
 			// them wait on the page lock; we let them proceed, a harmless
@@ -314,7 +330,7 @@ func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin
 			endOff = f.size
 		}
 		for _, lr := range f.runs(startOff, endOff-startOff) {
-			reqs = appendSplit(reqs, lr, false, origin)
+			reqs = appendSplit(reqs, lr, false, origin, rc)
 		}
 	}
 	for _, r := range reqs {
@@ -329,11 +345,11 @@ func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin
 // device before Write returns; otherwise pages are dirtied in the cache and
 // the writer is throttled only above the dirty limit.
 func (s *Store) Write(p *sim.Proc, name string, off, n int64, origin int) {
-	s.WriteMulti(p, name, []ext.Extent{{Off: off, Len: n}}, origin)
+	s.WriteMulti(p, name, []ext.Extent{{Off: off, Len: n}}, origin, obs.Ctx{})
 }
 
 // WriteMulti serves a list-I/O write; see ReadMulti for batching semantics.
-func (s *Store) WriteMulti(p *sim.Proc, name string, extents []ext.Extent, origin int) {
+func (s *Store) WriteMulti(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx) {
 	n := ext.Total(extents)
 	if n <= 0 {
 		return
@@ -350,7 +366,7 @@ func (s *Store) WriteMulti(p *sim.Proc, name string, extents []ext.Extent, origi
 			}
 			s.ensureAllocated(f, e.End())
 			for _, lr := range f.runs(e.Off, e.Len) {
-				reqs = appendSplit(reqs, lr, true, origin)
+				reqs = appendSplit(reqs, lr, true, origin, rc)
 			}
 		}
 		for _, r := range reqs {
@@ -431,7 +447,7 @@ func (s *Store) flushOnce(p *sim.Proc) {
 		}
 		f := s.file(pages[i].file)
 		for _, lr := range f.runs(pages[i].idx*ps, int64(j-i+1)*ps) {
-			reqs = appendSplit(reqs, lr, true, s.wbOrig)
+			reqs = appendSplit(reqs, lr, true, s.wbOrig, obs.Ctx{})
 		}
 		i = j + 1
 	}
@@ -449,7 +465,7 @@ func (s *Store) flushOnce(p *sim.Proc) {
 
 // appendSplit turns one contiguous LBN run into block-layer requests,
 // splitting at the request size cap (max_sectors) like the kernel does.
-func appendSplit(reqs []*iosched.Request, lr lbnRun, write bool, origin int) []*iosched.Request {
+func appendSplit(reqs []*iosched.Request, lr lbnRun, write bool, origin int, rc obs.Ctx) []*iosched.Request {
 	lbn := lr.lbn
 	sectors := (lr.bytes + sectorSize - 1) / sectorSize
 	for sectors > 0 {
@@ -457,7 +473,7 @@ func appendSplit(reqs []*iosched.Request, lr lbnRun, write bool, origin int) []*
 		if n > iosched.MaxMergeSectors {
 			n = iosched.MaxMergeSectors
 		}
-		reqs = append(reqs, &iosched.Request{LBN: lbn, Sectors: n, Write: write, Origin: origin})
+		reqs = append(reqs, &iosched.Request{LBN: lbn, Sectors: n, Write: write, Origin: origin, Obs: rc})
 		lbn += n
 		sectors -= n
 	}

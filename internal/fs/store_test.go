@@ -7,6 +7,7 @@ import (
 	"dualpar/internal/disk"
 	"dualpar/internal/ext"
 	"dualpar/internal/iosched"
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
 
@@ -306,7 +307,7 @@ func TestReadMultiBatchesAcrossExtents(t *testing.T) {
 			{Off: 6 << 20, Len: 256 << 10},
 			{Off: 0, Len: 256 << 10},
 			{Off: 3 << 20, Len: 256 << 10},
-		}, 1)
+		}, 1, obs.Ctx{})
 		batched = p.Now() - t0
 	})
 	k.RunUntil(time.Minute)
@@ -334,7 +335,7 @@ func TestWriteMultiSyncConservesBytes(t *testing.T) {
 	s := newStore(k, DefaultConfig())
 	extents := []ext.Extent{{Off: 0, Len: 100}, {Off: 4096, Len: 200}, {Off: 1 << 20, Len: 300}}
 	k.Spawn("writer", func(p *sim.Proc) {
-		s.WriteMulti(p, "w", extents, 1)
+		s.WriteMulti(p, "w", extents, 1, obs.Ctx{})
 	})
 	k.RunUntil(time.Minute)
 	if s.BytesWritten() != 600 {
@@ -352,8 +353,8 @@ func TestZeroLengthOpsAreNoOps(t *testing.T) {
 	k.Spawn("p", func(p *sim.Proc) {
 		s.Read(p, "a", 0, 0, 1)
 		s.Write(p, "a", 0, 0, 1)
-		s.ReadMulti(p, "a", nil, 1)
-		s.WriteMulti(p, "a", []ext.Extent{{Off: 5, Len: 0}}, 1)
+		s.ReadMulti(p, "a", nil, 1, obs.Ctx{})
+		s.WriteMulti(p, "a", []ext.Extent{{Off: 5, Len: 0}}, 1, obs.Ctx{})
 	})
 	k.RunUntil(time.Minute)
 	if s.BytesRead() != 0 || s.BytesWritten() != 0 {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
 
@@ -30,6 +31,8 @@ type Request struct {
 	// Origin identifies the submitting context (process/program); CFQ
 	// maintains one queue per origin.
 	Origin int
+	// Obs carries the originating request's trace identity (zero = untraced).
+	Obs obs.Ctx
 
 	arrival  time.Duration
 	done     *sim.Signal
@@ -73,14 +76,21 @@ type Dispatcher struct {
 	lastEnd int64
 	served  int64
 	busy    bool
+	track   string
+	obs     *obs.Collector
 }
 
-// NewDispatcher creates a dispatcher and starts its dispatch Proc.
+// NewDispatcher creates a dispatcher and starts its dispatch Proc. name also
+// serves as the dispatcher's trace track.
 func NewDispatcher(k *sim.Kernel, name string, dev Device, alg Algorithm) *Dispatcher {
-	d := &Dispatcher{k: k, dev: dev, alg: alg, arrival: k.NewSignal()}
+	d := &Dispatcher{k: k, dev: dev, alg: alg, arrival: k.NewSignal(), track: name}
 	k.Spawn(name, d.loop)
 	return d
 }
+
+// SetObs attaches the observability collector: every dispatched request then
+// records a StageDisk span on the dispatcher's track.
+func (d *Dispatcher) SetObs(c *obs.Collector) { d.obs = c }
 
 // Algorithm returns the elevator policy in use.
 func (d *Dispatcher) Algorithm() Algorithm { return d.alg }
@@ -132,8 +142,19 @@ func (d *Dispatcher) loop(p *sim.Proc) {
 			continue
 		}
 		d.busy = true
+		start := p.Now()
 		d.dev.Access(p, r.LBN, r.Sectors, r.Write)
 		d.busy = false
+		if d.obs.Enabled() {
+			rw := "read"
+			if r.Write {
+				rw = "write"
+			}
+			d.obs.Span(r.Obs.ID, obs.StageDisk, d.track, start, p.Now(),
+				obs.I64("lbn", r.LBN), obs.I64("sectors", r.Sectors), obs.Str("rw", rw),
+				obs.I64("queue_us", int64((start-r.arrival)/time.Microsecond)),
+				obs.I64("origin", int64(r.Origin)))
+		}
 		d.lastEnd = r.End()
 		d.served++
 		d.alg.NotifyComplete(r, p.Now())

@@ -17,6 +17,7 @@ import (
 
 	"dualpar/internal/ext"
 	"dualpar/internal/netsim"
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
 
@@ -82,6 +83,8 @@ type Cache struct {
 
 	statGets, statHits int64
 	statEvictions      int64
+
+	obs *obs.Collector
 }
 
 // New creates a cache whose chunks are homed round-robin on nodes. An
@@ -126,6 +129,10 @@ func (c *Cache) armSweeper() {
 		c.armSweeper()
 	})
 }
+
+// SetObs attaches the observability collector: every Get then emits a
+// cache.hit or cache.miss instant on the "cache" track.
+func (c *Cache) SetObs(o *obs.Collector) { c.obs = o }
 
 // Home returns the node that stores the given chunk.
 func (c *Cache) Home(idx int64) int {
@@ -199,10 +206,16 @@ func (c *Cache) Get(p *sim.Proc, fromNode int, file string, extents ...ext.Exten
 		}
 	}
 	c.chargeTransfers(p, fromNode, perHome, false)
+	miss = ext.Merge(miss)
 	if len(miss) == 0 {
 		c.statHits++
+		c.obs.Instant("cache.hit", "cache", p.Now(),
+			obs.Str("file", file), obs.I64("bytes", ext.Total(extents)))
+	} else {
+		c.obs.Instant("cache.miss", "cache", p.Now(),
+			obs.Str("file", file), obs.I64("missing", ext.Total(miss)))
 	}
-	return ext.Merge(miss)
+	return miss
 }
 
 // chargeTransfers pays one memcached operation per involved home node and

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramTableDriven(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		count   int64
+		mean    float64
+		p50     float64 // exact expected value where determinable
+		p50Tol  float64 // relative tolerance (0 = exact)
+	}{
+		{name: "empty", samples: nil, count: 0, mean: 0, p50: 0},
+		{name: "single", samples: []float64{0.125}, count: 1, mean: 0.125, p50: 0.125},
+		{name: "single-zero", samples: []float64{0}, count: 1, mean: 0, p50: 0},
+		{name: "negative-clamps", samples: []float64{-3}, count: 1, mean: 0, p50: 0},
+		{
+			// Two identical values: every percentile is that value (clamped
+			// to the exact min/max).
+			name:    "two-equal",
+			samples: []float64{2.0, 2.0},
+			count:   2, mean: 2.0, p50: 2.0,
+		},
+		{
+			// A value exactly on a bucket boundary (histMinValue * 2^k) must
+			// be counted exactly once and be recoverable within the bucket.
+			name:    "bucket-boundary",
+			samples: []float64{bucketUpper(20)},
+			count:   1, mean: bucketUpper(20), p50: bucketUpper(20),
+		},
+		{
+			name:    "wide-spread",
+			samples: []float64{0.001, 0.010, 0.100, 1.000},
+			count:   4, mean: 0.27775,
+			// p50 falls in the 0.010 sample's bucket; allow one bucket of
+			// slack (factor of 2).
+			p50: 0.010, p50Tol: 1.0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(tc.name)
+			for _, v := range tc.samples {
+				h.Observe(v)
+			}
+			if h.Count() != tc.count {
+				t.Fatalf("count = %d, want %d", h.Count(), tc.count)
+			}
+			if math.Abs(h.Mean()-tc.mean) > 1e-12 {
+				t.Fatalf("mean = %g, want %g", h.Mean(), tc.mean)
+			}
+			got := h.Percentile(50)
+			if tc.p50Tol == 0 {
+				if got != tc.p50 {
+					t.Fatalf("p50 = %g, want %g", got, tc.p50)
+				}
+			} else if math.Abs(got-tc.p50) > tc.p50Tol*tc.p50 {
+				t.Fatalf("p50 = %g, want %g±%g%%", got, tc.p50, tc.p50Tol*100)
+			}
+		})
+	}
+}
+
+func TestHistogramPercentileOrdering(t *testing.T) {
+	h := NewHistogram("lat")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 1e-3) // 1ms .. 1s uniform
+	}
+	p50, p95, p99 := h.Percentile(50), h.Percentile(95), h.Percentile(99)
+	if !(p50 <= p95 && p95 <= p99 && p99 <= h.Max()) {
+		t.Fatalf("percentiles out of order: p50=%g p95=%g p99=%g max=%g", p50, p95, p99, h.Max())
+	}
+	if p50 < h.Min() || p99 > h.Max() {
+		t.Fatalf("percentiles escape observed range [%g, %g]", h.Min(), h.Max())
+	}
+	// Log-bucketed estimate: within one doubling of the true value.
+	if p95 < 0.475 || p95 > 1.9 {
+		t.Fatalf("p95 = %g, want ~0.95 within a bucket", p95)
+	}
+}
+
+func TestHistogramBoundsExact(t *testing.T) {
+	h := NewHistogram("x")
+	h.Observe(3)
+	h.Observe(7)
+	if h.Min() != 3 || h.Max() != 7 {
+		t.Fatalf("min/max = %g/%g, want 3/7", h.Min(), h.Max())
+	}
+	if h.Sum() != 10 {
+		t.Fatalf("sum = %g, want 10", h.Sum())
+	}
+	if p := h.Percentile(0); p != 3 {
+		t.Fatalf("p0 = %g, want clamped to min 3", p)
+	}
+	if p := h.Percentile(100); p != 7 {
+		t.Fatalf("p100 = %g, want clamped to max 7", p)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must be a no-op")
+	}
+}

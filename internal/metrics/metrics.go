@@ -57,20 +57,21 @@ func (s *Series) Max() float64 {
 	return m
 }
 
-// Window returns the mean over samples with from <= T < to.
+// Window returns the mean over samples with from <= T < to. Points must be
+// in non-decreasing T order (true for every sampler in this package, which
+// appends under a monotonic virtual clock); the bounds are located by
+// binary search, so long series pay O(log n + window) instead of O(n).
 func (s *Series) Window(from, to time.Duration) float64 {
-	var sum float64
-	n := 0
-	for _, p := range s.Points {
-		if p.T >= from && p.T < to {
-			sum += p.V
-			n++
-		}
-	}
-	if n == 0 {
+	lo := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= from })
+	hi := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= to })
+	if lo >= hi {
 		return 0
 	}
-	return sum / float64(n)
+	var sum float64
+	for _, p := range s.Points[lo:hi] {
+		sum += p.V
+	}
+	return sum / float64(hi-lo)
 }
 
 // Sample polls fn every interval until `until`, recording one point per
@@ -89,16 +90,13 @@ func Sample(k *sim.Kernel, name string, every, until time.Duration, fn func() fl
 }
 
 // RateSampler converts a monotonically growing counter into a rate series
-// (e.g. bytes served → MB/s per window).
+// (e.g. bytes served → MB/s per window). The counter is snapshotted when the
+// sampler is armed, so the first window reports a true rate even when the
+// sampler is attached to a counter that is already nonzero (mid-run).
 func RateSampler(k *sim.Kernel, name string, every, until time.Duration, counter func() int64, scale float64) *Series {
-	last := int64(0)
-	primed := false
+	last := counter()
 	return Sample(k, name, every, until, func() float64 {
 		cur := counter()
-		if !primed {
-			// First window still measures from zero.
-			primed = true
-		}
 		delta := cur - last
 		last = cur
 		return float64(delta) / every.Seconds() * scale

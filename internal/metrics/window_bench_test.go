@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"dualpar/internal/sim"
+)
+
+// buildSeries returns n points on a 1 ms grid.
+func buildSeries(n int) *Series {
+	s := &Series{Name: "b"}
+	for i := 0; i < n; i++ {
+		s.Add(time.Duration(i)*time.Millisecond, float64(i))
+	}
+	return s
+}
+
+// BenchmarkSeriesWindow measures a narrow window query against a long
+// series — the sort.Search bounds make it O(log n + window) instead of the
+// former full scan.
+func BenchmarkSeriesWindow(b *testing.B) {
+	s := buildSeries(1 << 20)
+	from := 500 * time.Second
+	to := from + 100*time.Millisecond
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Window(from, to) == 0 {
+			b.Fatal("window unexpectedly empty")
+		}
+	}
+}
+
+func TestSeriesWindowEdges(t *testing.T) {
+	s := buildSeries(10)
+	if got := s.Window(3*time.Millisecond, 6*time.Millisecond); got != 4 {
+		t.Fatalf("window mean = %g, want 4", got)
+	}
+	if got := s.Window(100*time.Millisecond, 200*time.Millisecond); got != 0 {
+		t.Fatalf("out-of-range window = %g, want 0", got)
+	}
+	if got := s.Window(6*time.Millisecond, 3*time.Millisecond); got != 0 {
+		t.Fatalf("inverted window = %g, want 0", got)
+	}
+	if got := (&Series{}).Window(0, time.Second); got != 0 {
+		t.Fatalf("empty series window = %g, want 0", got)
+	}
+}
+
+// TestRateSamplerMidRun arms a sampler against a counter that is already
+// nonzero: the first window must report the in-window rate, not the
+// cumulative total since zero.
+func TestRateSamplerMidRun(t *testing.T) {
+	k := sim.NewKernel(1)
+	counter := int64(1_000_000) // pre-existing traffic before sampling starts
+	k.Spawn("producer", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(time.Second)
+			counter += 100
+		}
+	})
+	s := RateSampler(k, "rate", time.Second, 4*time.Second, func() int64 { return counter }, 1)
+	k.Run()
+	for _, pt := range s.Points {
+		if pt.V > 150 {
+			t.Fatalf("sample at %v = %g, want ~100 (pre-existing counter leaked in)", pt.T, pt.V)
+		}
+	}
+}

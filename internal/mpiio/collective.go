@@ -161,17 +161,24 @@ func (f *File) aggregatorIO(p *sim.Proc, rank int, needed []ext.Extent, write bo
 	holes := ext.Holes(needed, sieved)
 	cl := f.client(rank)
 	origin := f.origins[rank]
+	rc := f.startRequest(rank)
+	start := p.Now()
+	verb := "agg-read"
+	if write {
+		verb = "agg-write"
+	}
 	// Data sieving on writes requires read-modify-write of the holes.
 	if write && len(holes) > 0 {
-		cl.Read(p, f.name, holes, origin)
+		cl.Read(p, f.name, holes, origin, rc)
 	}
 	for _, batch := range batchBy(sieved, f.cfg.CollectiveBufferBytes) {
 		if write {
-			cl.Write(p, f.name, batch, origin)
+			cl.Write(p, f.name, batch, origin, rc)
 		} else {
-			cl.Read(p, f.name, batch, origin)
+			cl.Read(p, f.name, batch, origin, rc)
 		}
 	}
+	f.endRequest(p, rc, start, verb, ext.Total(needed), len(needed))
 }
 
 // batchBy slices extents into consecutive groups of at most limit total

@@ -11,10 +11,12 @@ package mpiio
 
 import (
 	"fmt"
+	"time"
 
 	"dualpar/internal/datatype"
 	"dualpar/internal/ext"
 	"dualpar/internal/mpi"
+	"dualpar/internal/obs"
 	"dualpar/internal/pfs"
 	"dualpar/internal/sim"
 )
@@ -84,6 +86,7 @@ type File struct {
 	instr   *Instr
 	origins []int // per-rank disk-request origin tags
 	clients map[int]*pfs.Client
+	track   string // trace-track prefix ("prog0"); "mpiio" if unset
 }
 
 // Open creates the shared file handle. origins[r] tags rank r's disk
@@ -112,6 +115,34 @@ func Open(w *mpi.World, fsys *pfs.FileSystem, name string, cfg Config, instr *In
 
 // Name returns the file name.
 func (f *File) Name() string { return f.name }
+
+// SetTrack names the trace-track prefix for this file's operations: rank r's
+// requests land on "<prefix>/rank<r>". The default prefix is "mpiio".
+func (f *File) SetTrack(prefix string) { f.track = prefix }
+
+// rankTrack is the trace track of one rank's operations.
+func (f *File) rankTrack(rank int) string {
+	prefix := f.track
+	if prefix == "" {
+		prefix = "mpiio"
+	}
+	return fmt.Sprintf("%s/rank%d", prefix, rank)
+}
+
+// startRequest opens a traced end-to-end request for one rank's operation.
+// With tracing off it returns the zero Ctx.
+func (f *File) startRequest(rank int) obs.Ctx {
+	return f.fsys.Obs().StartRequest(f.rankTrack(rank))
+}
+
+// endRequest closes the request span opened by startRequest.
+func (f *File) endRequest(p *sim.Proc, rc obs.Ctx, start time.Duration, verb string, bytes int64, extents int) {
+	if !rc.Traced() {
+		return
+	}
+	f.fsys.Obs().Span(rc.ID, obs.StageRequest, rc.Track, start, p.Now(),
+		obs.Str("verb", verb), obs.I64("bytes", bytes), obs.I64("extents", int64(extents)))
+}
 
 // Instr returns the instrumentation shared by this file's operations.
 func (f *File) Instr() *Instr { return f.instr }
@@ -173,28 +204,36 @@ func (f *File) independent(p *sim.Proc, rank int, extents []ext.Extent, write bo
 	n := ext.Total(extents)
 	end := f.instr.begin(p, rank, f.name, extents)
 	cl := f.client(rank)
+	rc := f.startRequest(rank)
+	start := p.Now()
+	verb := "read"
+	if write {
+		verb = "write"
+	}
 	if f.cfg.IndependentSieve && len(extents) > 1 {
-		f.sieveIndependent(p, rank, extents, write)
+		f.sieveIndependent(p, rank, extents, rc, write)
+		f.endRequest(p, rc, start, verb+"-sieved", n, len(extents))
 		end(n)
 		return
 	}
 	if f.cfg.ListIO || len(extents) <= 1 {
 		if write {
-			cl.Write(p, f.name, extents, f.origins[rank])
+			cl.Write(p, f.name, extents, f.origins[rank], rc)
 		} else {
-			cl.Read(p, f.name, extents, f.origins[rank])
+			cl.Read(p, f.name, extents, f.origins[rank], rc)
 		}
 	} else {
 		// Vanilla: synchronous requests issued one at a time (paper §II).
 		for _, e := range extents {
 			one := []ext.Extent{e}
 			if write {
-				cl.Write(p, f.name, one, f.origins[rank])
+				cl.Write(p, f.name, one, f.origins[rank], rc)
 			} else {
-				cl.Read(p, f.name, one, f.origins[rank])
+				cl.Read(p, f.name, one, f.origins[rank], rc)
 			}
 		}
 	}
+	f.endRequest(p, rc, start, verb, n, len(extents))
 	end(n)
 }
 
@@ -202,20 +241,20 @@ func (f *File) independent(p *sim.Proc, rank int, extents []ext.Extent, write bo
 // operation: the covering ranges (holes up to DataSieveHole absorbed) are
 // accessed in sieve-buffer-sized pieces; sieved writes read the holes back
 // first (read-modify-write).
-func (f *File) sieveIndependent(p *sim.Proc, rank int, extents []ext.Extent, write bool) {
+func (f *File) sieveIndependent(p *sim.Proc, rank int, extents []ext.Extent, rc obs.Ctx, write bool) {
 	cl := f.client(rank)
 	origin := f.origins[rank]
 	sieved := ext.MergeWithHoles(extents, f.cfg.DataSieveHole)
 	if write {
 		if holes := ext.Holes(extents, sieved); len(holes) > 0 {
-			cl.Read(p, f.name, holes, origin)
+			cl.Read(p, f.name, holes, origin, rc)
 		}
 	}
 	for _, batch := range batchBy(sieved, f.cfg.SieveBufferBytes) {
 		if write {
-			cl.Write(p, f.name, batch, origin)
+			cl.Write(p, f.name, batch, origin, rc)
 		} else {
-			cl.Read(p, f.name, batch, origin)
+			cl.Read(p, f.name, batch, origin, rc)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
 
@@ -48,6 +49,10 @@ type Network struct {
 
 	bytesSent int64
 	messages  int64
+
+	obs       *obs.Collector
+	cBytes    *obs.Counter
+	cMessages *obs.Counter
 }
 
 // New creates a network.
@@ -66,6 +71,15 @@ func New(k *sim.Kernel, cfg Config) *Network {
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
+// SetObs attaches the observability collector. The counter handles are
+// resolved once here; a nil collector yields nil handles whose Add is a
+// no-op.
+func (n *Network) SetObs(c *obs.Collector) {
+	n.obs = c
+	n.cBytes = c.Metrics().Counter("net.bytes")
+	n.cMessages = c.Metrics().Counter("net.messages")
+}
+
 // BytesSent and Messages report cumulative traffic.
 func (n *Network) BytesSent() int64 { return n.bytesSent }
 func (n *Network) Messages() int64  { return n.messages }
@@ -82,10 +96,12 @@ func (n *Network) Send(p *sim.Proc, from, to int, bytes int64) {
 		panic(fmt.Sprintf("netsim: negative message size %d", bytes))
 	}
 	n.messages++
+	n.cMessages.Add(1)
 	if from == to {
 		return
 	}
 	n.bytesSent += bytes
+	n.cBytes.Add(bytes)
 	now := p.Now()
 	x := n.xfer(bytes)
 
@@ -105,6 +121,19 @@ func (n *Network) Send(p *sim.Proc, from, to int, bytes int64) {
 	n.rx[to] = done
 
 	p.Sleep(done - now)
+}
+
+// SendTraced is Send plus a StageNet span against rc's request, recorded on
+// rc's track. Untraced contexts fall through to plain Send.
+func (n *Network) SendTraced(p *sim.Proc, from, to int, bytes int64, rc obs.Ctx) {
+	if !rc.Traced() {
+		n.Send(p, from, to, bytes)
+		return
+	}
+	start := p.Now()
+	n.Send(p, from, to, bytes)
+	n.obs.Span(rc.ID, obs.StageNet, rc.Track, start, p.Now(),
+		obs.I64("bytes", bytes), obs.I64("from", int64(from)), obs.I64("to", int64(to)))
 }
 
 // Delay charges the one-way latency only, for zero-payload control messages

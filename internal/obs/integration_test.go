@@ -1,0 +1,236 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+	"time"
+
+	"dualpar/internal/cluster"
+	"dualpar/internal/core"
+	"dualpar/internal/obs"
+	"dualpar/internal/workloads"
+)
+
+// traceEvent mirrors the Chrome trace-event fields the tests inspect.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Args map[string]string `json:"args"`
+}
+
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// runTraced runs one program under DualPar with a Collector attached and
+// returns the pieces the assertions need. A nil collector disables tracing.
+func runTraced(t *testing.T, prog workloads.Program, seed int64, col *obs.Collector) (*cluster.Cluster, *core.Runner, *core.ProgramRun) {
+	t.Helper()
+	ccfg := cluster.DefaultConfig()
+	ccfg.Seed = seed
+	ccfg.Obs = col
+	cl := cluster.New(ccfg)
+	dcfg := core.DefaultConfig()
+	dcfg.SlotEvery = 100 * time.Millisecond // enough EMC slots in a short run
+	runner := core.NewRunner(cl, dcfg)
+	pr := runner.Add(prog, core.ModeDualPar, core.AddOptions{RanksPerNode: 8})
+	if !runner.Run(time.Hour) {
+		t.Fatal("simulation did not finish")
+	}
+	return cl, runner, pr
+}
+
+func export(t *testing.T, col *obs.Collector) ([]byte, traceDoc) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := col.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	return buf.Bytes(), doc
+}
+
+// TestTraceAcceptance runs the acceptance workloads and checks the exported
+// trace against ground truth the simulator reports independently: one disk
+// span per dispatched request, one instant per EMC decision, cycle
+// transition, and mode switch.
+func TestTraceAcceptance(t *testing.T) {
+	cases := []struct {
+		name       string
+		prog       workloads.Program
+		wantCycles bool // workload must exercise the data-driven cycle path
+	}{
+		{"mpi-io-test", workloads.DefaultMPIIOTest(), false},
+		{"noncontig", workloads.DefaultNoncontig(), true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			col := obs.NewCollector()
+			cl, runner, pr := runTraced(t, tc.prog, 1, col)
+			_, doc := export(t, col)
+
+			phases := map[string]int{}
+			names := map[string]int{}
+			for _, ev := range doc.TraceEvents {
+				phases[ev.Ph]++
+				if ev.Ph == "X" || ev.Ph == "i" {
+					names[ev.Name]++
+				}
+			}
+			if phases["M"] == 0 || phases["X"] == 0 {
+				t.Fatalf("trace lacks metadata or span events: %v", phases)
+			}
+
+			var served int64
+			for _, st := range cl.Stores {
+				served += st.Dispatcher().Served()
+			}
+			if served == 0 {
+				t.Fatal("no disk requests served — workload did nothing")
+			}
+			if got := names["disk"]; int64(got) != served {
+				t.Errorf("disk spans = %d, dispatchers served %d", got, served)
+			}
+			if got, want := names["emc.decision"], len(runner.EMCDecisions()); got != want {
+				t.Errorf("emc.decision instants = %d, decisions logged %d", got, want)
+			}
+			if want := len(runner.EMCDecisions()); want == 0 {
+				t.Error("run produced no EMC decisions; the check above is vacuous")
+			}
+			if got, want := names["cycle.resume"], int(pr.Cycles()); got != want {
+				t.Errorf("cycle.resume instants = %d, cycles completed %d", got, want)
+			}
+			if got, want := names["mode.switch"], len(pr.ModeSwitches); got != want {
+				t.Errorf("mode.switch instants = %d, switches logged %d", got, want)
+			}
+			if tc.wantCycles {
+				if pr.Cycles() == 0 {
+					t.Error("workload never completed a data-driven cycle")
+				}
+				for _, n := range []string{"cycle.fill", "cycle.serve", "rank.suspend", "rank.resume", "cache.hit"} {
+					if names[n] == 0 {
+						t.Errorf("no %q instants in a cycling run", n)
+					}
+				}
+			}
+			checkNesting(t, doc)
+		})
+	}
+}
+
+// checkNesting verifies, from the parsed export alone, that every net,
+// server, and disk span carrying a request id falls inside that request's
+// span, and that no stage's merged busy time exceeds the request latency.
+func checkNesting(t *testing.T, doc traceDoc) {
+	t.Helper()
+	type iv struct{ lo, hi float64 }
+	reqs := map[string]iv{}                  // request id -> request span bounds (µs)
+	children := map[string]map[string][]iv{} // request id -> stage -> intervals
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		id := ev.Args["req"]
+		if id == "" {
+			continue // untraced span (e.g. background flusher disk access)
+		}
+		span := iv{ev.Ts, ev.Ts + ev.Dur}
+		if ev.Name == "request" {
+			if _, dup := reqs[id]; dup {
+				t.Errorf("request %s has two request spans", id)
+			}
+			reqs[id] = span
+			continue
+		}
+		if children[id] == nil {
+			children[id] = map[string][]iv{}
+		}
+		children[id][ev.Name] = append(children[id][ev.Name], span)
+	}
+	if len(reqs) == 0 {
+		t.Fatal("no request spans in trace")
+	}
+	const eps = 1e-3 // µs; ns→µs conversion rounds in float64
+	nested := 0
+	for id, stages := range children {
+		parent, ok := reqs[id]
+		if !ok {
+			t.Errorf("spans reference request %s but no request span exists", id)
+			continue
+		}
+		for stage, ivs := range stages {
+			// Every stage interval must nest inside the request span.
+			for _, c := range ivs {
+				if c.lo < parent.lo-eps || c.hi > parent.hi+eps {
+					t.Errorf("req %s: %s span [%f,%f] outside request [%f,%f]",
+						id, stage, c.lo, c.hi, parent.lo, parent.hi)
+				}
+			}
+			// The stage's merged busy time cannot exceed the request latency.
+			sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+			var busy, hi float64
+			for _, c := range ivs {
+				if c.lo > hi {
+					busy += c.hi - c.lo
+					hi = c.hi
+				} else if c.hi > hi {
+					busy += c.hi - hi
+					hi = c.hi
+				}
+			}
+			if lat := parent.hi - parent.lo; busy > lat+eps {
+				t.Errorf("req %s: %s busy %fµs exceeds request latency %fµs", id, stage, busy, lat)
+			}
+			nested++
+		}
+	}
+	if nested == 0 {
+		t.Fatal("no child spans found under any request")
+	}
+}
+
+// TestTraceDeterminism runs the same seed twice and demands byte-identical
+// exports, then a third time with tracing off and demands the identical
+// simulated timeline — observability must not perturb the simulation.
+func TestTraceDeterminism(t *testing.T) {
+	prog := workloads.DefaultNoncontig()
+
+	col1 := obs.NewCollector()
+	_, _, pr1 := runTraced(t, prog, 7, col1)
+	trace1, _ := export(t, col1)
+	var sum1 bytes.Buffer
+	if err := col1.WriteSummary(&sum1); err != nil {
+		t.Fatal(err)
+	}
+
+	col2 := obs.NewCollector()
+	_, _, pr2 := runTraced(t, prog, 7, col2)
+	trace2, _ := export(t, col2)
+	var sum2 bytes.Buffer
+	if err := col2.WriteSummary(&sum2); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(trace1, trace2) {
+		t.Error("same seed produced different trace bytes")
+	}
+	if sum1.String() != sum2.String() {
+		t.Errorf("same seed produced different summaries:\n%s\nvs\n%s", sum1.String(), sum2.String())
+	}
+	if pr1.Elapsed() != pr2.Elapsed() {
+		t.Errorf("same seed produced different elapsed: %v vs %v", pr1.Elapsed(), pr2.Elapsed())
+	}
+
+	_, _, pr3 := runTraced(t, prog, 7, nil)
+	if pr3.Elapsed() != pr1.Elapsed() {
+		t.Errorf("tracing changed the timeline: traced %v, untraced %v", pr1.Elapsed(), pr3.Elapsed())
+	}
+}

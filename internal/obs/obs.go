@@ -1,0 +1,160 @@
+// Package obs is the simulation-wide observability layer: request-scoped
+// spans, control-plane instant events, and a metrics registry, with Chrome
+// trace-event (Perfetto-loadable) and summary-table exporters.
+//
+// Every I/O request receives a RequestID at the layer that originates it
+// (MPI-IO calls, CRM batches, Strategy-2 prefetches); the ID travels down
+// the stack inside a Ctx, and each layer records the stage it contributes —
+// network serialization, server-side service, block-layer queueing, and disk
+// positioning/transfer — as a Span against the originating request. Control
+// planes (EMC decisions, cycle state transitions, rank suspend/resume,
+// cache hits and misses) emit Instants.
+//
+// The entire package is nil-safe: a nil *Collector (tracing disabled) makes
+// every method a no-op costing one nil check, so the simulation's virtual
+// timeline is identical with and without tracing. The Collector performs no
+// virtual-time operations and draws no randomness; it only records.
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// RequestID identifies one end-to-end I/O request. Zero means untraced.
+type RequestID int64
+
+// Ctx carries a request's identity through the stack: the ID and the track
+// (timeline row) of the context that originated it, e.g. "prog0/rank3" or
+// "prog1/crm/home102". The zero Ctx is the untraced request.
+type Ctx struct {
+	ID    RequestID
+	Track string
+}
+
+// Traced reports whether the context belongs to an active trace.
+func (c Ctx) Traced() bool { return c.ID != 0 }
+
+// Stage names the slice of the stack a span covers.
+type Stage string
+
+const (
+	// StageRequest is the end-to-end span, opened where the request is born.
+	StageRequest Stage = "request"
+	// StageNet covers one network transfer (send through delivery).
+	StageNet Stage = "net"
+	// StageServer covers one data server's handling of a request: dequeue,
+	// request CPU, local store service, response send.
+	StageServer Stage = "server"
+	// StageDisk covers one block-layer dispatch: the device positioning and
+	// transfer time of one access (queue wait is carried as an arg).
+	StageDisk Stage = "disk"
+)
+
+// Arg is one key/value annotation. Values are pre-formatted strings so that
+// export is deterministic and allocation happens only while tracing.
+type Arg struct {
+	Key, Val string
+}
+
+// I64 builds an integer annotation.
+func I64(k string, v int64) Arg { return Arg{Key: k, Val: fmt.Sprintf("%d", v)} }
+
+// F64 builds a float annotation with fixed formatting (determinism).
+func F64(k string, v float64) Arg { return Arg{Key: k, Val: fmt.Sprintf("%.6g", v)} }
+
+// Str builds a string annotation.
+func Str(k, v string) Arg { return Arg{Key: k, Val: v} }
+
+// Span is one completed stage of one request.
+type Span struct {
+	ID         RequestID
+	Stage      Stage
+	Track      string
+	Start, End time.Duration
+	Args       []Arg
+}
+
+// Dur is the span's duration.
+func (s Span) Dur() time.Duration { return s.End - s.Start }
+
+// Instant is one control-plane event.
+type Instant struct {
+	Name  string
+	Track string
+	At    time.Duration
+	Args  []Arg
+}
+
+// Collector accumulates spans, instants, and metrics for one simulation.
+// It is driven from kernel/Proc context only (the kernel's strict
+// alternation is the synchronization), so it needs no locking.
+type Collector struct {
+	lastID   int64
+	spans    []Span
+	instants []Instant
+	reg      *Registry
+}
+
+// NewCollector creates an enabled collector.
+func NewCollector() *Collector {
+	return &Collector{reg: NewRegistry()}
+}
+
+// Enabled reports whether tracing is on (the collector is non-nil).
+func (c *Collector) Enabled() bool { return c != nil }
+
+// StartRequest allocates a fresh request context on the given track.
+// On a nil collector it returns the zero (untraced) Ctx.
+func (c *Collector) StartRequest(track string) Ctx {
+	if c == nil {
+		return Ctx{}
+	}
+	c.lastID++
+	return Ctx{ID: RequestID(c.lastID), Track: track}
+}
+
+// Span records one completed stage and feeds the stage's latency histogram
+// ("lat.<stage>", seconds).
+func (c *Collector) Span(id RequestID, stage Stage, track string, start, end time.Duration, args ...Arg) {
+	if c == nil {
+		return
+	}
+	c.spans = append(c.spans, Span{ID: id, Stage: stage, Track: track, Start: start, End: end, Args: args})
+	c.reg.Histogram("lat." + string(stage)).Observe((end - start).Seconds())
+}
+
+// Instant records one control-plane event and bumps its counter
+// ("event.<name>").
+func (c *Collector) Instant(name, track string, at time.Duration, args ...Arg) {
+	if c == nil {
+		return
+	}
+	c.instants = append(c.instants, Instant{Name: name, Track: track, At: at, Args: args})
+	c.reg.Counter("event." + name).Add(1)
+}
+
+// Metrics returns the registry (nil on a nil collector; the registry's
+// handles are themselves nil-safe).
+func (c *Collector) Metrics() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// Spans returns all recorded spans in recording order.
+func (c *Collector) Spans() []Span {
+	if c == nil {
+		return nil
+	}
+	return c.spans
+}
+
+// Instants returns all recorded instants in recording order.
+func (c *Collector) Instants() []Instant {
+	if c == nil {
+		return nil
+	}
+	return c.instants
+}

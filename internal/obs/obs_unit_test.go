@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilCollectorSafe exercises every entry point on a nil collector.
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	ctx := c.StartRequest("prog0/rank0")
+	if ctx.Traced() {
+		t.Fatalf("nil collector issued a traced ctx: %+v", ctx)
+	}
+	c.Span(ctx.ID, StageRequest, ctx.Track, 0, time.Second)
+	c.Instant("emc.decision", "emc", time.Second)
+	if c.Spans() != nil || c.Instants() != nil {
+		t.Fatal("nil collector returned recorded events")
+	}
+	reg := c.Metrics()
+	reg.Counter("x").Add(1)
+	reg.Gauge("y").Set(2)
+	reg.Histogram("z").Observe(3)
+	if got := reg.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil registry counter = %d", got)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace on nil collector: %v", err)
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("nil-collector trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 0 {
+		t.Fatalf("nil-collector trace has %d events", len(parsed.TraceEvents))
+	}
+	if err := c.WriteSummary(&buf); err != nil {
+		t.Fatalf("WriteSummary on nil collector: %v", err)
+	}
+}
+
+func TestStartRequestAllocatesSequentialIDs(t *testing.T) {
+	c := NewCollector()
+	a := c.StartRequest("prog0/rank0")
+	b := c.StartRequest("prog0/rank1")
+	if a.ID != 1 || b.ID != 2 {
+		t.Fatalf("ids = %d, %d; want 1, 2", a.ID, b.ID)
+	}
+	if !a.Traced() {
+		t.Fatal("allocated ctx not traced")
+	}
+	if a.Track != "prog0/rank0" {
+		t.Fatalf("track = %q", a.Track)
+	}
+}
+
+func TestSpanFeedsLatencyHistogram(t *testing.T) {
+	c := NewCollector()
+	ctx := c.StartRequest("prog0/rank0")
+	c.Span(ctx.ID, StageRequest, ctx.Track, 10*time.Millisecond, 30*time.Millisecond)
+	c.Span(ctx.ID, StageDisk, "server0/disk", 12*time.Millisecond, 20*time.Millisecond)
+	h := c.Metrics().Histogram("lat.request")
+	if h.Count() != 1 {
+		t.Fatalf("lat.request count = %d, want 1", h.Count())
+	}
+	if got, want := h.Max(), 0.020; got != want {
+		t.Fatalf("lat.request max = %g, want %g", got, want)
+	}
+	if c.Metrics().Histogram("lat.disk").Count() != 1 {
+		t.Fatal("lat.disk not observed")
+	}
+}
+
+func TestInstantBumpsEventCounter(t *testing.T) {
+	c := NewCollector()
+	c.Instant("emc.decision", "emc", time.Second, Str("verb", "read"))
+	c.Instant("emc.decision", "emc", 2*time.Second, Str("verb", "write"))
+	if got := c.Metrics().Counter("event.emc.decision").Value(); got != 2 {
+		t.Fatalf("event.emc.decision = %d, want 2", got)
+	}
+}
+
+// traceDoc mirrors the exported structure for test-side parsing.
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s"`
+	Args map[string]string `json:"args"`
+}
+
+func TestWriteTraceStructure(t *testing.T) {
+	c := NewCollector()
+	ctx := c.StartRequest("prog0/rank0")
+	c.Span(ctx.ID, StageRequest, ctx.Track, time.Millisecond, 5*time.Millisecond, I64("bytes", 65536))
+	c.Span(ctx.ID, StageNet, "server0/worker0", 2*time.Millisecond, 3*time.Millisecond)
+	c.Instant("cycle.resume", "prog0/ctrl", 4*time.Millisecond, I64("cycle", 1))
+
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var meta, spans, instants []traceEvent
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta = append(meta, ev)
+		case "X":
+			spans = append(spans, ev)
+		case "i":
+			instants = append(instants, ev)
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// 3 tracks in 2 processes -> 2 process_name + 3 thread_name events.
+	if len(meta) != 5 {
+		t.Fatalf("meta events = %d, want 5", len(meta))
+	}
+	if len(spans) != 2 || len(instants) != 1 {
+		t.Fatalf("spans=%d instants=%d, want 2 and 1", len(spans), len(instants))
+	}
+
+	req := spans[0]
+	if req.Name != "request" || req.Ts != 1000 || req.Dur != 4000 {
+		t.Fatalf("request span = %+v, want ts=1000 dur=4000", req)
+	}
+	if req.Args["req"] != "1" || req.Args["bytes"] != "65536" {
+		t.Fatalf("request args = %v", req.Args)
+	}
+	net := spans[1]
+	if net.Pid == req.Pid {
+		t.Fatal("prog0 and server0 tracks share a pid")
+	}
+	if instants[0].S != "t" {
+		t.Fatalf("instant scope = %q, want t", instants[0].S)
+	}
+	// Metadata first: the named-track rows must exist before events use them.
+	names := map[string]bool{}
+	for _, m := range meta {
+		if m.Name == "thread_name" {
+			names[m.Args["name"]] = true
+		}
+	}
+	for _, want := range []string{"prog0/rank0", "server0/worker0", "prog0/ctrl"} {
+		if !names[want] {
+			t.Fatalf("missing thread_name for %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestWriteTraceDeterministic(t *testing.T) {
+	build := func() *Collector {
+		c := NewCollector()
+		for i := 0; i < 5; i++ {
+			ctx := c.StartRequest("prog0/rank0")
+			base := time.Duration(i) * time.Millisecond
+			c.Span(ctx.ID, StageRequest, ctx.Track, base, base+time.Millisecond,
+				I64("bytes", int64(i*4096)), Str("verb", "read"))
+			c.Instant("cache.miss", "cache", base, I64("page", int64(i)))
+		}
+		return c
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical collectors exported different bytes")
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	c := NewCollector()
+	ctx := c.StartRequest("prog0/rank0")
+	c.Span(ctx.ID, StageRequest, ctx.Track, 0, 10*time.Millisecond)
+	c.Instant("emc.decision", "emc", time.Second)
+	c.Metrics().Gauge("queue.depth").Set(3)
+
+	tbl := c.SummaryTable()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("summary rows = %d, want 3 (hist + counter + gauge)", len(tbl.Rows))
+	}
+	out := tbl.String()
+	for _, want := range []string{"lat.request", "event.emc.decision", "queue.depth", "10.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

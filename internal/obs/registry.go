@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"sort"
+
+	"dualpar/internal/metrics"
+)
+
+// Registry holds named counters, gauges, and latency histograms, created on
+// first use. All accessors are safe on a nil *Registry (they return nil
+// handles whose methods are no-ops), so instrumented layers can hold
+// handles unconditionally and pay one nil check when tracing is off.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*metrics.Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*metrics.Histogram),
+	}
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct{ v int64 }
+
+// Add increments the counter; a no-op on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value reads the counter (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-write-wins float.
+type Gauge struct{ v float64 }
+
+// Set stores the value; a no-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named log-bucketed
+// histogram. Virtual-time latencies are observed in seconds.
+func (r *Registry) Histogram(name string) *metrics.Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = metrics.NewHistogram(name)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterNames, GaugeNames, and HistogramNames return the registered names
+// sorted, for deterministic rendering.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.counters)
+}
+
+func (r *Registry) GaugeNames() []string {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.gauges)
+}
+
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.hists)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -2,6 +2,7 @@ package pfs
 
 import (
 	"dualpar/internal/ext"
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
 
@@ -49,14 +50,15 @@ func (c *Client) Open(p *sim.Proc, name string) int64 {
 
 // Read performs a list-I/O read of the given file-global extents, blocking
 // p until all data has arrived. origin tags the disk requests for the I/O
-// scheduler (CFQ queues by origin).
-func (c *Client) Read(p *sim.Proc, name string, extents []ext.Extent, origin int) {
-	c.transfer(p, name, extents, origin, false)
+// scheduler (CFQ queues by origin); rc carries the originating traced
+// request (zero Ctx = untraced).
+func (c *Client) Read(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx) {
+	c.transfer(p, name, extents, origin, rc, false)
 }
 
 // Write performs a list-I/O write; see Read.
-func (c *Client) Write(p *sim.Proc, name string, extents []ext.Extent, origin int) {
-	c.transfer(p, name, extents, origin, true)
+func (c *Client) Write(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx) {
+	c.transfer(p, name, extents, origin, rc, true)
 	fsys := c.fsys
 	if n := ext.Total(extents); n > 0 {
 		hi := int64(0)
@@ -71,7 +73,7 @@ func (c *Client) Write(p *sim.Proc, name string, extents []ext.Extent, origin in
 	}
 }
 
-func (c *Client) transfer(p *sim.Proc, name string, extents []ext.Extent, origin int, write bool) {
+func (c *Client) transfer(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx, write bool) {
 	fsys := c.fsys
 	per := fsys.split(extents)
 	var reqs []*serverReq
@@ -87,12 +89,14 @@ func (c *Client) transfer(p *sim.Proc, name string, extents []ext.Extent, origin
 			origin:  origin,
 			client:  c.Node,
 			done:    fsys.k.NewSignal(),
+			rc:      rc,
 		}
 		msg := fsys.cfg.HeaderBytes + fsys.cfg.ExtentDescBytes*int64(len(lst))
 		if write {
 			msg += ext.Total(lst) // write payload travels with the request
 		}
-		fsys.net.Send(p, c.Node, srv.Node, msg)
+		fsys.net.SendTraced(p, c.Node, srv.Node, msg, rc)
+		req.enq = p.Now()
 		srv.queue.Put(req)
 		reqs = append(reqs, req)
 	}

@@ -12,6 +12,7 @@ import (
 	"dualpar/internal/ext"
 	"dualpar/internal/fs"
 	"dualpar/internal/netsim"
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
 
@@ -79,6 +80,7 @@ type FileSystem struct {
 	cfg     Config
 	servers []*Server
 	meta    *MetaServer
+	obs     *obs.Collector
 }
 
 // Server is one data server.
@@ -105,6 +107,8 @@ type serverReq struct {
 	client  int // requesting network node
 	done    *sim.Signal
 	fin     bool
+	rc      obs.Ctx       // originating traced request
+	enq     time.Duration // enqueue time (queue-wait annotation)
 }
 
 // New assembles a file system from per-server stores. serverNodes[i] is the
@@ -132,7 +136,8 @@ func New(k *sim.Kernel, net *netsim.Network, cfg Config, metaNode int, serverNod
 		}
 		fsys.servers = append(fsys.servers, srv)
 		for w := 0; w < cfg.WorkersPerServer; w++ {
-			k.Spawn(fmt.Sprintf("pfs/server%d/worker%d", i, w), srv.workerLoop)
+			track := fmt.Sprintf("server%d/worker%d", i, w)
+			k.Spawn("pfs/"+track, func(p *sim.Proc) { srv.workerLoop(p, track) })
 		}
 	}
 	return fsys
@@ -140,6 +145,13 @@ func New(k *sim.Kernel, net *netsim.Network, cfg Config, metaNode int, serverNod
 
 // Config returns the file system configuration.
 func (fsys *FileSystem) Config() Config { return fsys.cfg }
+
+// SetObs attaches the observability collector: traced requests then record
+// per-worker StageServer spans.
+func (fsys *FileSystem) SetObs(c *obs.Collector) { fsys.obs = c }
+
+// Obs returns the attached collector (nil when tracing is off).
+func (fsys *FileSystem) Obs() *obs.Collector { return fsys.obs }
 
 // Servers returns the data servers.
 func (fsys *FileSystem) Servers() []*Server { return fsys.servers }
@@ -162,10 +174,11 @@ func (srv *Server) DiskOrigin(clientOrigin int) int {
 	return serverOriginBase + srv.Index
 }
 
-func (srv *Server) workerLoop(p *sim.Proc) {
+func (srv *Server) workerLoop(p *sim.Proc, track string) {
 	fsys := srv.fsys
 	for {
 		req := srv.queue.Get(p)
+		start := p.Now()
 		cpu := fsys.cfg.RequestCPU
 		if j := fsys.cfg.RequestJitter; j > 0 && cpu > 0 {
 			f := 1 + (fsys.k.Rand().Float64()*2-1)*j
@@ -174,12 +187,22 @@ func (srv *Server) workerLoop(p *sim.Proc) {
 		p.Sleep(cpu)
 		origin := srv.DiskOrigin(req.origin)
 		if req.write {
-			srv.Store.WriteMulti(p, req.file, req.extents, origin)
+			srv.Store.WriteMulti(p, req.file, req.extents, origin, req.rc)
 			// Small acknowledgment back to the client.
 			fsys.net.Send(p, srv.Node, req.client, fsys.cfg.HeaderBytes)
 		} else {
-			srv.Store.ReadMulti(p, req.file, req.extents, origin)
+			srv.Store.ReadMulti(p, req.file, req.extents, origin, req.rc)
 			fsys.net.Send(p, srv.Node, req.client, fsys.cfg.HeaderBytes+ext.Total(req.extents))
+		}
+		if req.rc.Traced() {
+			rw := "read"
+			if req.write {
+				rw = "write"
+			}
+			fsys.obs.Span(req.rc.ID, obs.StageServer, track, start, p.Now(),
+				obs.Str("rw", rw), obs.I64("bytes", ext.Total(req.extents)),
+				obs.I64("extents", int64(len(req.extents))),
+				obs.I64("queue_us", int64((start-req.enq)/time.Microsecond)))
 		}
 		req.fin = true
 		req.done.Broadcast()

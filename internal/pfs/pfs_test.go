@@ -10,6 +10,7 @@ import (
 	"dualpar/internal/fs"
 	"dualpar/internal/iosched"
 	"dualpar/internal/netsim"
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
 
@@ -102,7 +103,7 @@ func TestReadTouchesAllServers(t *testing.T) {
 	cl := fsys.Client(100)
 	k.Spawn("client", func(p *sim.Proc) {
 		cl.Create(p, "f", 3<<20)
-		cl.Read(p, "f", []ext.Extent{{Off: 0, Len: 3 << 20}}, 1)
+		cl.Read(p, "f", []ext.Extent{{Off: 0, Len: 3 << 20}}, 1, obs.Ctx{})
 	})
 	k.RunUntil(time.Minute)
 	for i, srv := range fsys.Servers() {
@@ -117,7 +118,7 @@ func TestWriteReachesDisks(t *testing.T) {
 	cl := fsys.Client(100)
 	var done time.Duration
 	k.Spawn("client", func(p *sim.Proc) {
-		cl.Write(p, "f", []ext.Extent{{Off: 0, Len: 1 << 20}}, 1)
+		cl.Write(p, "f", []ext.Extent{{Off: 0, Len: 1 << 20}}, 1, obs.Ctx{})
 		done = p.Now()
 	})
 	k.RunUntil(time.Minute)
@@ -144,7 +145,7 @@ func TestParallelismSpeedsUpLargeRead(t *testing.T) {
 		k.Spawn("client", func(p *sim.Proc) {
 			cl.Create(p, "f", 64<<20)
 			t0 := p.Now()
-			cl.Read(p, "f", []ext.Extent{{Off: 0, Len: 64 << 20}}, 1)
+			cl.Read(p, "f", []ext.Extent{{Off: 0, Len: 64 << 20}}, 1, obs.Ctx{})
 			took = p.Now() - t0
 		})
 		k.RunUntil(10 * time.Minute)
@@ -171,7 +172,7 @@ func TestConcurrentClientsShareServers(t *testing.T) {
 		k.Spawn("client", func(p *sim.Proc) {
 			name := fmt.Sprintf("f%d", i)
 			cl.Create(p, name, 1<<20)
-			cl.Read(p, name, []ext.Extent{{Off: 0, Len: 1 << 20}}, i)
+			cl.Read(p, name, []ext.Extent{{Off: 0, Len: 1 << 20}}, i, obs.Ctx{})
 			finished++
 		})
 	}
@@ -195,7 +196,7 @@ func TestListIOSingleRequestPerServer(t *testing.T) {
 	k.Spawn("client", func(p *sim.Proc) {
 		cl.Create(p, "f", 8<<20)
 		msgsBefore = fsysNet(fsys).Messages()
-		cl.Read(p, "f", extents, 1)
+		cl.Read(p, "f", extents, 1, obs.Ctx{})
 	})
 	k.RunUntil(time.Minute)
 	msgs := fsysNet(fsys).Messages() - msgsBefore

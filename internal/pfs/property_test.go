@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dualpar/internal/ext"
+	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
 
@@ -82,7 +83,7 @@ func TestColdReadServesExactBytes(t *testing.T) {
 		ok := false
 		k.Spawn("client", func(p *sim.Proc) {
 			cl.Create(p, "f", cursor+1)
-			cl.Read(p, "f", extents, 1)
+			cl.Read(p, "f", extents, 1, obs.Ctx{})
 			var got int64
 			for _, srv := range fsys.Servers() {
 				got += srv.Store.BytesRead()
@@ -115,7 +116,7 @@ func TestWriteServesExactBytes(t *testing.T) {
 		want := ext.Total(extents)
 		ok := false
 		k.Spawn("client", func(p *sim.Proc) {
-			cl.Write(p, "f", extents, 1)
+			cl.Write(p, "f", extents, 1, obs.Ctx{})
 			var got int64
 			for _, srv := range fsys.Servers() {
 				got += srv.Store.BytesWritten()
