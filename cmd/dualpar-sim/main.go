@@ -6,11 +6,16 @@
 //
 //	dualpar-sim -workload mpi-io-test -mode dualpar -procs 64 -mb 128 [-write]
 //	            [-servers 9] [-sched cfq|deadline|noop] [-seed N]
-//	            [-trace out.json] [-stats]
+//	            [-trace out.json] [-stats] [-faults SPEC]
 //
 // -trace writes a Chrome trace-event JSON of every I/O request's journey
 // through the stack (load it at ui.perfetto.dev); -stats prints the metrics
 // registry (latency histograms, counters, gauges) after the run.
+//
+// -faults injects a deterministic fault schedule (see fault.Parse), e.g.
+// "disk:1*10@5s-30s;stall:2@1s-2s;drop:102:0.2@0s-10s", and arms the
+// client and CRM retry watchdogs; fault windows, drops, and retries appear
+// as instants in -trace output.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	"dualpar/internal/cluster"
 	"dualpar/internal/core"
+	"dualpar/internal/fault"
 	"dualpar/internal/iosched"
 	"dualpar/internal/obs"
 	"dualpar/internal/workloads"
@@ -39,6 +45,7 @@ func main() {
 	slot := flag.Duration("slot", 0, "EMC sampling slot (default 1s)")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	stats := flag.Bool("stats", false, "print the metrics registry after the run")
+	faults := flag.String("faults", "", "fault schedule, e.g. 'disk:1*10@5s-30s;stall:2@1s-2s;drop:102:0.2'")
 	flag.Parse()
 
 	prog, err := buildWorkload(*workload, *procs, *mbytes<<20, *write)
@@ -72,8 +79,24 @@ func main() {
 		collector = obs.NewCollector()
 		ccfg.Obs = collector
 	}
-	cl := cluster.New(ccfg)
 	dcfg := core.DefaultConfig()
+	if *faults != "" {
+		sch, err := fault.Parse(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ccfg.Faults = sch
+		// Arm the tolerance watchdogs at both layers: fine-grained request
+		// timeouts in the PFS client, the coarser batch watchdog in CRM.
+		ccfg.PFS.RequestTimeout = 250 * time.Millisecond
+		ccfg.PFS.MaxRetries = 4
+		ccfg.PFS.RetryBackoff = 20 * time.Millisecond
+		dcfg.CRMTimeout = 2 * time.Second
+		dcfg.CRMMaxRetries = 3
+		dcfg.CRMBackoff = 50 * time.Millisecond
+	}
+	cl := cluster.New(ccfg)
 	if *slot > 0 {
 		dcfg.SlotEvery = *slot
 	}
@@ -103,6 +126,10 @@ func main() {
 		st.Accesses, st.Seeks, st.AvgSeekDistance())
 	fmt.Printf("network:     %.1f MiB on the wire, %d messages\n",
 		float64(cl.Net.BytesSent())/(1<<20), cl.Net.Messages())
+	if *faults != "" {
+		fmt.Printf("faults:      %d windows, %d messages dropped, %d client retries\n",
+			len(ccfg.Faults.Windows), cl.Net.Drops(), cl.FS.Retries())
+	}
 	if c := pr.Cache(); c != nil {
 		fmt.Printf("cache:       %d gets, %d hits, %d evictions\n", c.Gets(), c.Hits(), c.Evictions())
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig1a|fig1b|fig1cd|fig3|fig4|fig5|table2|fig6|fig7|fig8|table3]
+//	experiments [-run all|fig1a|fig1b|fig1cd|fig3|fig4|fig5|table2|fig6|fig7|fig8|table3|straggler|...]
 //	            [-quick] [-seed N] [-out DIR] [-q]
 package main
 
@@ -44,12 +44,15 @@ var experiments = map[string]func(harness.Opts) *harness.Result{
 	"ablate-s2window":  harness.AblateStrategy2Window,
 	"ablate-servers":   harness.AblateServers,
 	"ablate-pipeline":  harness.AblatePipeline,
+
+	"straggler": harness.Straggler,
 }
 
 var order = []string{
 	"fig1a", "fig1b", "fig1cd", "fig3", "fig4", "fig5", "table2", "fig6", "fig7", "fig8", "table3",
 	"ablate-sched", "ablate-t", "ablate-hole", "ablate-chunk", "ablate-origins", "ablate-cb", "ablate-ssd",
 	"ablate-writepath", "ablate-s2window", "ablate-servers", "ablate-pipeline",
+	"straggler",
 }
 
 func main() {

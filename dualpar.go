@@ -23,6 +23,7 @@ import (
 	"dualpar/internal/cluster"
 	"dualpar/internal/core"
 	"dualpar/internal/disk"
+	"dualpar/internal/fault"
 	"dualpar/internal/iosched"
 	"dualpar/internal/workloads"
 )
@@ -105,6 +106,25 @@ func (c Config) WithSSD() Config {
 // every data server.
 func (c Config) WithTracing() Config {
 	c.Cluster.TraceServers = true
+	return c
+}
+
+// WithFaults returns the config with a deterministic fault schedule (see
+// fault.Parse for the spec grammar) threaded through the testbed, and the
+// client and CRM retry watchdogs armed so degraded runs keep making
+// progress. It panics on a malformed spec (a configuration bug).
+func (c Config) WithFaults(spec string) Config {
+	sch, err := fault.Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	c.Cluster.Faults = sch
+	c.Cluster.PFS.RequestTimeout = 250 * time.Millisecond
+	c.Cluster.PFS.MaxRetries = 4
+	c.Cluster.PFS.RetryBackoff = 20 * time.Millisecond
+	c.Core.CRMTimeout = 2 * time.Second
+	c.Core.CRMMaxRetries = 3
+	c.Core.CRMBackoff = 50 * time.Millisecond
 	return c
 }
 

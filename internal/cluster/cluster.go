@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"dualpar/internal/disk"
+	"dualpar/internal/fault"
 	"dualpar/internal/fs"
 	"dualpar/internal/iosched"
 	"dualpar/internal/netsim"
@@ -44,6 +45,11 @@ type Config struct {
 	// the block-layer dispatchers. Nil (the default) costs one nil check per
 	// instrumentation point and leaves the virtual timeline untouched.
 	Obs *obs.Collector
+	// Faults, when non-nil, threads a deterministic fault-injection
+	// schedule through the testbed: per-server disk degradation, link
+	// degradation and transient drops, and server stall/slowdown windows.
+	// An empty schedule leaves the run byte-identical to Faults == nil.
+	Faults *fault.Schedule
 }
 
 // DefaultConfig matches the paper's platform: 9 data servers + 1 metadata
@@ -69,6 +75,7 @@ type Cluster struct {
 	FS     *pfs.FileSystem
 	Stores []*fs.Store
 	cfg    Config
+	inj    *fault.Injector
 }
 
 // New builds a cluster.
@@ -78,6 +85,11 @@ func New(cfg Config) *Cluster {
 	}
 	k := sim.NewKernel(cfg.Seed)
 	net := netsim.New(k, cfg.Net)
+	var inj *fault.Injector
+	if cfg.Faults != nil {
+		inj = fault.NewInjector(k, cfg.Faults, cfg.Seed*31337+7, cfg.Obs)
+		net.SetFaults(inj)
+	}
 	newSched := cfg.NewScheduler
 	if newSched == nil {
 		newSched = func() iosched.Algorithm { return iosched.NewCFQ() }
@@ -115,11 +127,17 @@ func New(cfg Config) *Cluster {
 			}
 			dev = r
 		}
+		if inj != nil {
+			dev = fault.WrapDevice(dev, inj, i)
+		}
 		st := fs.New(k, fmt.Sprintf("server%d", i), dev, newSched(), cfg.FS, flusherOriginBase+i)
 		stores = append(stores, st)
 		nodes = append(nodes, 1+i)
 	}
 	fsys := pfs.New(k, net, cfg.PFS, 0, nodes, stores)
+	if inj != nil {
+		fsys.SetFaults(inj)
+	}
 	if cfg.Obs != nil {
 		net.SetObs(cfg.Obs)
 		fsys.SetObs(cfg.Obs)
@@ -127,7 +145,7 @@ func New(cfg Config) *Cluster {
 			st.SetObs(cfg.Obs)
 		}
 	}
-	return &Cluster{K: k, Net: net, FS: fsys, Stores: stores, cfg: cfg}
+	return &Cluster{K: k, Net: net, FS: fsys, Stores: stores, cfg: cfg, inj: inj}
 }
 
 // flusherOriginBase keeps server-flusher origins away from program origins.
@@ -138,6 +156,10 @@ func (c *Cluster) Config() Config { return c.cfg }
 
 // Obs returns the cluster-wide collector (nil when tracing is off).
 func (c *Cluster) Obs() *obs.Collector { return c.cfg.Obs }
+
+// Faults returns the cluster's fault injector (nil when no schedule was
+// configured; a nil injector is safe to query).
+func (c *Cluster) Faults() *fault.Injector { return c.inj }
 
 // ComputeNodes returns the compute-node ids.
 func (c *Cluster) ComputeNodes() []int {

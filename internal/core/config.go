@@ -84,6 +84,19 @@ type Config struct {
 	// issue stream turns into DualPar-style batches (the paper's Strategy 2
 	// never approaches Strategy 3's disk efficiency).
 	Strategy2WindowBytes int64
+	// CRMTimeout, when positive, arms a watchdog on every per-home-node
+	// CRM batch: a batch not completed within the timeout is relaunched
+	// with bounded exponential backoff (the abandoned attempt keeps
+	// running; whichever finishes first completes the batch). Zero (the
+	// default) disables the watchdog, leaving the timeline untouched. Set
+	// it above the PFS-level RequestTimeout so the layers escalate rather
+	// than race.
+	CRMTimeout time.Duration
+	// CRMMaxRetries bounds relaunches per batch; afterwards CRM waits for
+	// the outstanding attempts.
+	CRMMaxRetries int
+	// CRMBackoff is slept before the first relaunch and doubles each time.
+	CRMBackoff time.Duration
 	// Memcache configures the global cache (chunk size should match the
 	// PVFS2 stripe unit).
 	Memcache memcache.Config
@@ -133,6 +146,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: PipelineDepth %d", c.PipelineDepth)
 	case c.Strategy2WindowBytes <= 0:
 		return fmt.Errorf("core: Strategy2WindowBytes %d", c.Strategy2WindowBytes)
+	case c.CRMTimeout < 0:
+		return fmt.Errorf("core: CRMTimeout %v", c.CRMTimeout)
+	case c.CRMMaxRetries < 0:
+		return fmt.Errorf("core: CRMMaxRetries %d", c.CRMMaxRetries)
+	case c.CRMBackoff < 0:
+		return fmt.Errorf("core: CRMBackoff %v", c.CRMBackoff)
 	}
 	return c.Memcache.Validate()
 }

@@ -31,24 +31,25 @@ func (pr *ProgramRun) crmServe(p *sim.Proc, wishFiles []string, wish map[string]
 		pr.cache.MarkClean(file)
 	}
 
-	// Phase 2: batched prefetch of the ghosts' recorded reads.
-	if len(wishFiles) > 0 {
-		// Close out the previous cycle's mis-prefetch sample: the fraction
-		// of prefetched data not consumed when this pre-execution began
-		// (§IV-C).
-		if pr.prefetchedCycle > 0 {
-			ratio := 1 - float64(pr.consumedCycle)/float64(pr.prefetchedCycle)
-			if ratio < 0 {
-				ratio = 0
-			}
-			pr.misSamples = append(pr.misSamples, ratio)
-			pr.obs().Instant("cache.misprefetch", pr.ctrlTrack(), p.Now(),
-				obs.F64("ratio", ratio))
-			pr.checkMisPrefetchFastPath()
+	// Close out the previous cycle's mis-prefetch sample: the fraction of
+	// prefetched data not consumed when this service phase began (§IV-C).
+	// The sample closes on every served cycle — including writeback-only
+	// cycles (write-quota suspensions), which would otherwise let
+	// consumedCycle accumulate across cycles and skew the next ratio.
+	if pr.prefetchedCycle > 0 {
+		ratio := 1 - float64(pr.consumedCycle)/float64(pr.prefetchedCycle)
+		if ratio < 0 {
+			ratio = 0
 		}
-		pr.consumedCycle = 0
-		pr.prefetchedCycle = 0
+		pr.misSamples = append(pr.misSamples, ratio)
+		pr.obs().Instant("cache.misprefetch", pr.ctrlTrack(), p.Now(),
+			obs.F64("ratio", ratio))
+		pr.checkMisPrefetchFastPath()
 	}
+	pr.consumedCycle = 0
+	pr.prefetchedCycle = 0
+
+	// Phase 2: batched prefetch of the ghosts' recorded reads.
 	pr.crmPrefetch(p, wishFiles, wish)
 }
 
@@ -98,37 +99,99 @@ func (pr *ProgramRun) issueByHome(p *sim.Proc, file string, extents []ext.Extent
 		wg.Add(1)
 		k.Spawn(fmt.Sprintf("prog%d/crm-home%d", pr.id, home), func(hp *sim.Proc) {
 			defer wg.Done()
-			cl := pr.r.cl.FS.Client(home)
-			rc := pr.obs().StartRequest(fmt.Sprintf("prog%d/crm/home%d", pr.id, home))
-			start := hp.Now()
-			verb := "crm-read"
-			switch op {
-			case crmWrite:
-				verb = "crm-writeback"
-				cl.Write(hp, file, batch, pr.crmOrigin, rc)
-			case crmRead:
-				cl.Read(hp, file, batch, pr.crmOrigin, rc)
-			case crmPrefetch:
-				verb = "crm-prefetch"
-				cl.Read(hp, file, batch, pr.crmOrigin, rc)
-				pr.cache.PutClean(hp, home, file, batch)
-			}
-			if rc.Traced() {
-				pr.obs().Span(rc.ID, obs.StageRequest, rc.Track, start, hp.Now(),
-					obs.Str("verb", verb), obs.I64("bytes", ext.Total(batch)),
-					obs.I64("extents", int64(len(batch))))
-			}
+			pr.superviseBatch(hp, file, batch, op, home)
 		})
 	}
 	wg.Wait(p)
 }
 
+// superviseBatch runs one per-home CRM batch. With CRMTimeout armed it is
+// a watchdog: a batch not done within the timeout is relaunched with
+// bounded exponential backoff (abandoned attempts keep running; whichever
+// finishes first completes the batch). A degraded home node therefore
+// delays only its own batch by at most the escalation ladder, instead of
+// pinning the whole collective phase to its stall.
+func (pr *ProgramRun) superviseBatch(hp *sim.Proc, file string, batch []ext.Extent, op crmOp, home int) {
+	cfg := pr.r.cfg
+	if cfg.CRMTimeout <= 0 {
+		pr.crmBatch(hp, file, batch, op, home, 0)
+		return
+	}
+	k := pr.r.cl.K
+	done := k.NewSignal()
+	fin := false
+	launch := func(attempt int) {
+		k.Spawn(fmt.Sprintf("prog%d/crm-home%d/try%d", pr.id, home, attempt), func(ap *sim.Proc) {
+			pr.crmBatch(ap, file, batch, op, home, attempt)
+			fin = true
+			done.Broadcast()
+		})
+	}
+	launch(0)
+	timeout := cfg.CRMTimeout
+	backoff := cfg.CRMBackoff
+	for retry := 0; ; retry++ {
+		deadline := hp.Now() + timeout
+		for !fin && hp.Now() < deadline {
+			done.WaitTimeout(hp, deadline-hp.Now())
+		}
+		if fin {
+			return
+		}
+		if retry >= cfg.CRMMaxRetries {
+			// Out of retries: wait for an outstanding attempt — the home is
+			// degraded, not gone, and the sim has no error path to lose a
+			// collective batch into.
+			for !fin {
+				done.Wait(hp)
+			}
+			return
+		}
+		pr.obs().Instant("retry", pr.ctrlTrack(), hp.Now(),
+			obs.I64("home", int64(home)), obs.I64("attempt", int64(retry+1)),
+			obs.Str("file", file))
+		if backoff > 0 {
+			hp.Sleep(backoff)
+			backoff *= 2
+		}
+		launch(retry + 1)
+		timeout *= 2
+	}
+}
+
+// crmBatch performs one attempt of a per-home batch.
+func (pr *ProgramRun) crmBatch(hp *sim.Proc, file string, batch []ext.Extent, op crmOp, home, attempt int) {
+	cl := pr.r.cl.FS.Client(home)
+	rc := pr.obs().StartRequest(fmt.Sprintf("prog%d/crm/home%d", pr.id, home))
+	start := hp.Now()
+	verb := "crm-read"
+	switch op {
+	case crmWrite:
+		verb = "crm-writeback"
+		cl.Write(hp, file, batch, pr.crmOrigin, rc)
+	case crmRead:
+		cl.Read(hp, file, batch, pr.crmOrigin, rc)
+	case crmPrefetch:
+		verb = "crm-prefetch"
+		cl.Read(hp, file, batch, pr.crmOrigin, rc)
+		pr.cache.PutClean(hp, home, file, batch)
+	}
+	if rc.Traced() {
+		pr.obs().Span(rc.ID, obs.StageRequest, rc.Track, start, hp.Now(),
+			obs.Str("verb", verb), obs.I64("bytes", ext.Total(batch)),
+			obs.I64("extents", int64(len(batch))),
+			obs.I64("attempt", int64(attempt)))
+	}
+}
+
 // clipToFile bounds prefetch extents to the file's known size (alignment
-// must not read past EOF of a pre-created file).
+// must not read past EOF). The bound is the larger of the workload's
+// declared static size and the size the metadata server currently records
+// — files grown by writebacks keep their tails prefetchable.
 func (pr *ProgramRun) clipToFile(file string, extents []ext.Extent) []ext.Extent {
-	var size int64
+	size := pr.r.cl.FS.FileSize(file)
 	for _, fs := range pr.prog.Files() {
-		if fs.Name == file && fs.Size > 0 {
+		if fs.Name == file && fs.Size > size {
 			size = fs.Size
 		}
 	}

@@ -44,20 +44,23 @@ type Decision struct {
 	At          time.Duration
 	Program     int
 	IORatio     float64
-	AveSeekDist float64 // sectors
+	AveSeekDist float64 // sectors; median of per-server means
 	AveReqDist  float64 // sectors
 	Improvement float64
 	MisRatio    float64
 	DataDriven  bool
+	// PerServerSeek lists the per-server mean seek distances behind
+	// AveSeekDist (servers idle over the slot omitted). Shared by all
+	// programs evaluated in the same slot.
+	PerServerSeek []float64
 }
 
 func newEMC(r *Runner) *emc {
 	return &emc{r: r}
 }
 
-// start arms the slot chain. It stops once every program has finished, so
-// the simulation can drain.
-func (e *emc) start() {
+// initState sizes the per-server and per-program sampling state.
+func (e *emc) initState() {
 	e.lastDisk = make([]disk.Stats, len(e.r.cl.Stores))
 	n := len(e.r.progs)
 	e.lastIO = make([]time.Duration, n)
@@ -68,6 +71,12 @@ func (e *emc) start() {
 	e.highSlots = make([]int, n)
 	e.ratioEWMA = make([]float64, n)
 	e.ratioInit = make([]bool, n)
+}
+
+// start arms the slot chain. It stops once every program has finished, so
+// the simulation can drain.
+func (e *emc) start() {
+	e.initState()
 	var tick func()
 	tick = func() {
 		e.slot()
@@ -84,7 +93,7 @@ func (e *emc) start() {
 // slot is one sampling period.
 func (e *emc) slot() {
 	now := e.r.cl.K.Now()
-	aveSeek := e.sampleServers()
+	aveSeek, perSeek := e.sampleServers()
 	// ReqDist is a system-wide metric (§IV-B): the logs of all registered
 	// programs are pooled before sorting per file.
 	var pooled []mpiio.ReqRecord
@@ -152,55 +161,18 @@ func (e *emc) slot() {
 		}
 
 		if !pr.disabled {
-			cfg := e.r.cfg
-			switch {
-			case nMis >= cfg.MisCyclesToDisable && mis > cfg.MisPrefetchThreshold:
-				// Too much wasted prefetching: turn data-driven off for
-				// good (§IV-C) — a one-time cost for the program. This
-				// guard applies even when data-driven mode was forced. A
-				// single bad cycle (mode-transition turbulence) is not
-				// enough evidence; the PEC fast path uses the same
-				// consecutive-cycle rule.
-				pr.disabled = true
-				pr.setDataDriven(false)
-			case pr.mode != ModeDualPar:
-				// ModeDataDriven pins the mode on; only the mis-prefetch
-				// guard above can turn it off.
-			case !pr.dataDriven && ioRatio > cfg.IORatioThreshold && improvement > cfg.TImprovement:
-				// Two consecutive qualifying slots are required: the first
-				// slot of a run carries the one-time seek into the file
-				// region and must not trip the mode.
-				e.highSlots[i]++
-				if e.highSlots[i] >= 2 {
-					pr.setDataDriven(true)
-					e.highSlots[i] = 0
-				}
-				e.lowSlots[i] = 0
-			case pr.dataDriven && dIO+dComp > 0 && ioRatio < cfg.IORatioThreshold/2:
-				// The program stopped being I/O bound. Two consecutive low
-				// slots are required before reverting (hysteresis against
-				// flapping); the seek-distance condition is not re-checked
-				// while data-driven because the improvement it causes would
-				// immediately un-trigger it.
-				e.lowSlots[i]++
-				if e.lowSlots[i] >= 2 {
-					pr.setDataDriven(false)
-					e.lowSlots[i] = 0
-				}
-			default:
-				e.lowSlots[i] = 0
-				e.highSlots[i] = 0
-			}
+			e.applyDecision(i, pr, dIO+dComp > 0, ioRatio, improvement, mis, nMis)
 		}
 		e.Decisions = append(e.Decisions, Decision{
-			At:          now,
-			Program:     i,
-			IORatio:     ioRatio,
-			AveSeekDist: aveSeek,
-			AveReqDist:  reqDist,
-			Improvement: improvement,
-			MisRatio:    mis,
-			DataDriven:  pr.dataDriven,
+			At:            now,
+			Program:       i,
+			IORatio:       ioRatio,
+			AveSeekDist:   aveSeek,
+			AveReqDist:    reqDist,
+			Improvement:   improvement,
+			MisRatio:      mis,
+			DataDriven:    pr.dataDriven,
+			PerServerSeek: perSeek,
 		})
 		dd := "off"
 		if pr.dataDriven {
@@ -213,21 +185,90 @@ func (e *emc) slot() {
 	}
 }
 
-// sampleServers returns the mean per-access seek distance (sectors) across
-// data servers over the last slot.
-func (e *emc) sampleServers() float64 {
-	var dist, accesses int64
+// applyDecision runs the mode-switch hysteresis for program i (the switch
+// over EMC's evidence, extracted so slot sequences can be driven directly
+// in tests). active reports whether the slot saw any instrumented rank
+// activity (dIO+dComp > 0); an idle slot — every rank suspended on a cycle
+// fill, or a program between phases — carries no evidence in either
+// direction and must not reset the consecutive-slot counters.
+func (e *emc) applyDecision(i int, pr *ProgramRun, active bool, ioRatio, improvement, mis float64, nMis int) {
+	cfg := e.r.cfg
+	switch {
+	case nMis >= cfg.MisCyclesToDisable && mis > cfg.MisPrefetchThreshold:
+		// Too much wasted prefetching: turn data-driven off for
+		// good (§IV-C) — a one-time cost for the program. This
+		// guard applies even when data-driven mode was forced. A
+		// single bad cycle (mode-transition turbulence) is not
+		// enough evidence; the PEC fast path uses the same
+		// consecutive-cycle rule.
+		pr.disabled = true
+		pr.setDataDriven(false)
+	case pr.mode != ModeDualPar:
+		// ModeDataDriven pins the mode on; only the mis-prefetch
+		// guard above can turn it off.
+	case !active:
+		// No evidence either way: leave the hysteresis counters alone.
+	case !pr.dataDriven && ioRatio > cfg.IORatioThreshold && improvement > cfg.TImprovement:
+		// Two consecutive qualifying slots are required: the first
+		// slot of a run carries the one-time seek into the file
+		// region and must not trip the mode.
+		e.highSlots[i]++
+		if e.highSlots[i] >= 2 {
+			pr.setDataDriven(true)
+			e.highSlots[i] = 0
+		}
+		e.lowSlots[i] = 0
+	case pr.dataDriven && ioRatio < cfg.IORatioThreshold/2:
+		// The program stopped being I/O bound. Two consecutive low
+		// slots are required before reverting (hysteresis against
+		// flapping); the seek-distance condition is not re-checked
+		// while data-driven because the improvement it causes would
+		// immediately un-trigger it.
+		e.lowSlots[i]++
+		if e.lowSlots[i] >= 2 {
+			pr.setDataDriven(false)
+			e.lowSlots[i] = 0
+		}
+	default:
+		e.lowSlots[i] = 0
+		e.highSlots[i] = 0
+	}
+}
+
+// sampleServers returns the per-slot seek-distance signal: the median of
+// the per-server mean seek distances (sectors per access) over the last
+// slot, plus the per-server means themselves (servers idle over the slot
+// omitted). The median makes the aggregate robust to a single straggler:
+// one degraded server whose head travel explodes can neither fake a
+// system-wide improvement signal nor mask a real one, both of which a
+// pooled mean allows.
+func (e *emc) sampleServers() (float64, []float64) {
+	per := make([]float64, 0, len(e.r.cl.Stores))
 	for i, st := range e.r.cl.Stores {
 		s := st.Device().Stats()
 		d := s.Sub(e.lastDisk[i])
 		e.lastDisk[i] = s
-		dist += d.SeekSectors
-		accesses += d.Accesses
+		if d.Accesses == 0 {
+			continue
+		}
+		per = append(per, float64(d.SeekSectors)/float64(d.Accesses))
 	}
-	if accesses == 0 {
-		return 0
+	if len(per) == 0 {
+		return 0, nil
 	}
-	return float64(dist) / float64(accesses)
+	return median(per), per
+}
+
+// median returns the middle value of xs (mean of the two middles for even
+// length) without mutating it.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
 }
 
 // reqDistSectors computes aveReqDist: requests are grouped by file, sorted

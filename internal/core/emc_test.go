@@ -1,0 +1,89 @@
+package core
+
+import "testing"
+
+// TestEMCIdleSlotPreservesHysteresis is the regression test for the
+// empty-slot bug: a slot with no instrumented rank activity (dIO+dComp ==
+// 0) used to fall into the default branch of the mode-switch logic and
+// reset the consecutive-slot counters, so a program whose ranks spend
+// whole slots suspended on cycle fills could never accumulate the two
+// qualifying (or two low) slots hysteresis requires.
+func TestEMCIdleSlotPreservesHysteresis(t *testing.T) {
+	cl := smallCluster(1)
+	r := NewRunner(cl, DefaultConfig())
+	pr := r.Add(smallMPIIOTest(false), ModeDualPar, AddOptions{RanksPerNode: 4})
+	e := r.emc
+	e.initState()
+
+	// First qualifying slot arms the counter but must not switch yet.
+	e.applyDecision(0, pr, true, 0.95, 100, 0, 0)
+	if pr.dataDriven {
+		t.Fatal("switched data-driven after a single qualifying slot")
+	}
+	if e.highSlots[0] != 1 {
+		t.Fatalf("highSlots = %d after one qualifying slot, want 1", e.highSlots[0])
+	}
+
+	// An idle slot carries no evidence and must not reset the counter.
+	e.applyDecision(0, pr, false, 0, 0, 0, 0)
+	if e.highSlots[0] != 1 {
+		t.Fatalf("idle slot reset highSlots to %d", e.highSlots[0])
+	}
+
+	// The second qualifying slot completes the hysteresis.
+	e.applyDecision(0, pr, true, 0.95, 100, 0, 0)
+	if !pr.dataDriven {
+		t.Fatal("two qualifying slots separated by an idle slot did not switch data-driven on")
+	}
+
+	// Same protection for the revert direction.
+	e.applyDecision(0, pr, true, 0.1, 100, 0, 0)
+	if e.lowSlots[0] != 1 {
+		t.Fatalf("lowSlots = %d after one low slot, want 1", e.lowSlots[0])
+	}
+	e.applyDecision(0, pr, false, 0, 0, 0, 0)
+	if e.lowSlots[0] != 1 {
+		t.Fatalf("idle slot reset lowSlots to %d", e.lowSlots[0])
+	}
+	e.applyDecision(0, pr, true, 0.1, 100, 0, 0)
+	if pr.dataDriven {
+		t.Fatal("two low slots separated by an idle slot did not revert to computation-driven")
+	}
+}
+
+// A genuinely non-qualifying active slot must still reset the counters
+// (the original hysteresis semantics).
+func TestEMCActiveNonQualifyingSlotResets(t *testing.T) {
+	cl := smallCluster(1)
+	r := NewRunner(cl, DefaultConfig())
+	pr := r.Add(smallMPIIOTest(false), ModeDualPar, AddOptions{RanksPerNode: 4})
+	e := r.emc
+	e.initState()
+
+	e.applyDecision(0, pr, true, 0.95, 100, 0, 0)
+	// Active but not qualifying: I/O-bound without seek improvement.
+	e.applyDecision(0, pr, true, 0.95, 1, 0, 0)
+	if e.highSlots[0] != 0 {
+		t.Fatalf("non-qualifying active slot left highSlots = %d, want 0", e.highSlots[0])
+	}
+	e.applyDecision(0, pr, true, 0.95, 100, 0, 0)
+	if pr.dataDriven {
+		t.Fatal("switched with only one qualifying slot since the reset")
+	}
+}
+
+func TestMedianRobustToStraggler(t *testing.T) {
+	xs := []float64{5, 4, 1000, 6}
+	if got := median(xs); got != 5.5 {
+		t.Fatalf("median(%v) = %g, want 5.5", xs, got)
+	}
+	if xs[2] != 1000 {
+		t.Fatal("median mutated its input")
+	}
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd-length median = %g, want 2", got)
+	}
+	if got := median([]float64{7}); got != 7 {
+		t.Fatalf("single-element median = %g, want 7", got)
+	}
+}

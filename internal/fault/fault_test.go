@@ -1,0 +1,216 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"dualpar/internal/sim"
+)
+
+func TestParse(t *testing.T) {
+	sch, err := Parse("disk:1*10@5s-30s; stall:2@1s-2s, drop:102:0.2@0s-10s;link:3*4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Window{
+		{Kind: DiskSlow, Target: 1, Factor: 10, Start: 5 * time.Second, End: 30 * time.Second},
+		{Kind: ServerStall, Target: 2, Factor: 1, Start: time.Second, End: 2 * time.Second},
+		{Kind: LinkDrop, Target: 102, Factor: 1, Prob: 0.2, End: 10 * time.Second},
+		{Kind: LinkSlow, Target: 3, Factor: 4},
+	}
+	if len(sch.Windows) != len(want) {
+		t.Fatalf("parsed %d windows, want %d", len(sch.Windows), len(want))
+	}
+	for i, w := range want {
+		if sch.Windows[i] != w {
+			t.Errorf("window %d = %+v, want %+v", i, sch.Windows[i], w)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	sch, err := Parse("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sch.Empty() {
+		t.Fatalf("blank spec parsed to %+v", sch)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"melt:1*2",          // unknown kind
+		"disk:1*0.5",        // factor < 1
+		"drop:5",            // drop without probability
+		"drop:5:1.5",        // probability out of range
+		"stall:2",           // stall without an end
+		"disk:1*10@30s-5s",  // end before start
+		"disk:x*2",          // bad target
+		"disk:1*2@later-5s", // bad duration
+		"slow:1:0.5",        // stray field on a non-drop kind
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid spec", spec)
+		}
+	}
+}
+
+func TestWindowActive(t *testing.T) {
+	w := Window{Kind: DiskSlow, Target: 0, Factor: 2, Start: 5 * time.Second, End: 10 * time.Second}
+	for _, tc := range []struct {
+		at   time.Duration
+		want bool
+	}{
+		{0, false}, {5 * time.Second, true}, {9 * time.Second, true},
+		{10 * time.Second, false}, {time.Hour, false},
+	} {
+		if got := w.active(tc.at); got != tc.want {
+			t.Errorf("active(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	open := Window{Kind: DiskSlow, Factor: 2, Start: time.Second}
+	if !open.active(time.Hour) {
+		t.Error("open-ended window inactive")
+	}
+}
+
+func TestFactorsMultiplyAndTarget(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k, &Schedule{Windows: []Window{
+		{Kind: DiskSlow, Target: 1, Factor: 10},
+		{Kind: DiskSlow, Target: 1, Factor: 2, Start: 0, End: 5 * time.Second},
+		{Kind: ServerSlow, Target: 1, Factor: 3},
+	}}, 7, nil)
+	if f := inj.DiskFactor(1, time.Second); f != 20 {
+		t.Errorf("overlapping DiskFactor = %g, want 20", f)
+	}
+	if f := inj.DiskFactor(1, 6*time.Second); f != 10 {
+		t.Errorf("DiskFactor after inner window = %g, want 10", f)
+	}
+	if f := inj.DiskFactor(0, time.Second); f != 1 {
+		t.Errorf("healthy server DiskFactor = %g, want 1", f)
+	}
+	if f := inj.ServerFactor(1, time.Second); f != 3 {
+		t.Errorf("ServerFactor = %g, want 3", f)
+	}
+	if f := inj.DiskFactor(1, time.Second); f != 20 {
+		t.Errorf("ServerSlow window leaked into DiskFactor: %g", f)
+	}
+}
+
+func TestLinkFactorEitherEndpoint(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k, &Schedule{Windows: []Window{
+		{Kind: LinkSlow, Target: 3, Factor: 4},
+	}}, 7, nil)
+	if f := inj.LinkFactor(3, 100, 0); f != 4 {
+		t.Errorf("LinkFactor(from=target) = %g, want 4", f)
+	}
+	if f := inj.LinkFactor(100, 3, 0); f != 4 {
+		t.Errorf("LinkFactor(to=target) = %g, want 4", f)
+	}
+	if f := inj.LinkFactor(100, 101, 0); f != 1 {
+		t.Errorf("LinkFactor(unrelated) = %g, want 1", f)
+	}
+}
+
+func TestStallUntil(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k, &Schedule{Windows: []Window{
+		{Kind: ServerStall, Target: 2, Start: time.Second, End: 2 * time.Second},
+		{Kind: ServerStall, Target: 2, Start: time.Second, End: 3 * time.Second},
+	}}, 7, nil)
+	if u := inj.StallUntil(2, 1500*time.Millisecond); u != 3*time.Second {
+		t.Errorf("StallUntil = %v, want 3s (latest overlapping end)", u)
+	}
+	if u := inj.StallUntil(2, 4*time.Second); u != 0 {
+		t.Errorf("StallUntil after windows = %v, want 0", u)
+	}
+	if u := inj.StallUntil(0, 1500*time.Millisecond); u != 0 {
+		t.Errorf("StallUntil on healthy server = %v, want 0", u)
+	}
+}
+
+func TestDropDeterministicPerSeed(t *testing.T) {
+	sch := &Schedule{Windows: []Window{
+		{Kind: LinkDrop, Target: 5, Prob: 0.5, End: time.Minute},
+	}}
+	draw := func(seed int64) []bool {
+		inj := NewInjector(sim.NewKernel(1), sch, seed, nil)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = inj.Drop(5, 100, time.Duration(i)*time.Second/100)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	var dropped int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical seeds", i)
+		}
+		if a[i] {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(a) {
+		t.Fatalf("p=0.5 produced %d/%d drops", dropped, len(a))
+	}
+	// Outside the window no randomness is drawn and nothing drops.
+	inj := NewInjector(sim.NewKernel(1), sch, 42, nil)
+	if inj.Drop(5, 100, 2*time.Minute) {
+		t.Error("drop outside the window")
+	}
+	// Unrelated endpoints never drop.
+	if inj.Drop(7, 100, time.Second) {
+		t.Error("drop on an unrelated link")
+	}
+}
+
+func TestNilInjectorIsHealthy(t *testing.T) {
+	var inj *Injector
+	if f := inj.DiskFactor(0, 0); f != 1 {
+		t.Errorf("nil DiskFactor = %g", f)
+	}
+	if f := inj.ServerFactor(0, 0); f != 1 {
+		t.Errorf("nil ServerFactor = %g", f)
+	}
+	if f := inj.LinkFactor(0, 1, 0); f != 1 {
+		t.Errorf("nil LinkFactor = %g", f)
+	}
+	if u := inj.StallUntil(0, 0); u != 0 {
+		t.Errorf("nil StallUntil = %v", u)
+	}
+	if inj.Drop(0, 1, 0) {
+		t.Error("nil injector dropped a message")
+	}
+	if inj.Enabled() {
+		t.Error("nil injector reports enabled")
+	}
+}
+
+func TestEmptyScheduleAddsNoEvents(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k, &Schedule{}, 42, nil)
+	if k.Pending() != 0 {
+		t.Fatalf("empty schedule left %d kernel events pending", k.Pending())
+	}
+	if inj.Enabled() {
+		t.Error("empty-schedule injector reports enabled")
+	}
+	if inj.rng != nil {
+		t.Error("empty-schedule injector created a random source")
+	}
+}
+
+func TestInvalidSchedulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewInjector accepted an invalid schedule")
+		}
+	}()
+	NewInjector(sim.NewKernel(1), &Schedule{Windows: []Window{
+		{Kind: DiskSlow, Target: 0, Factor: 0.5},
+	}}, 1, nil)
+}

@@ -1,0 +1,118 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a Schedule from a compact spec string, for command-line use.
+// Entries are separated by ';' (or ','); each is
+//
+//	kind:target[*factor][:prob][@start[-end]]
+//
+// where kind is disk|link|slow|stall|drop, target is a data-server index
+// (disk/slow/stall) or network node id (link/drop), factor is the slowdown
+// multiplier (disk/link/slow), prob is the drop probability (drop only),
+// and start/end are Go durations in virtual time (omitted end = open
+// window; stall requires an end). Examples:
+//
+//	disk:1*10            server 1's disk 10x slower for the whole run
+//	disk:1*10@5s-30s     the same, between t=5s and t=30s
+//	stall:2@1s-2s        server 2 freezes for one second
+//	drop:102:0.2@0s-10s  20% message loss at node 102 for 10 seconds
+//	link:3*4             node 3's links serialize 4x slower
+func Parse(spec string) (*Schedule, error) {
+	sch := &Schedule{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return sch, nil
+	}
+	for _, entry := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
+		w, err := parseWindow(strings.TrimSpace(entry))
+		if err != nil {
+			return nil, err
+		}
+		sch.Windows = append(sch.Windows, w)
+	}
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	return sch, nil
+}
+
+func parseWindow(entry string) (Window, error) {
+	var w Window
+	body := entry
+	if at := strings.IndexByte(entry, '@'); at >= 0 {
+		body = entry[:at]
+		var err error
+		w.Start, w.End, err = parseSpan(entry[at+1:])
+		if err != nil {
+			return w, fmt.Errorf("fault: %q: %v", entry, err)
+		}
+	}
+	fields := strings.Split(body, ":")
+	if len(fields) < 2 {
+		return w, fmt.Errorf("fault: %q: want kind:target[...]", entry)
+	}
+	switch fields[0] {
+	case "disk":
+		w.Kind = DiskSlow
+	case "link":
+		w.Kind = LinkSlow
+	case "slow":
+		w.Kind = ServerSlow
+	case "stall":
+		w.Kind = ServerStall
+	case "drop":
+		w.Kind = LinkDrop
+	default:
+		return w, fmt.Errorf("fault: %q: unknown kind %q", entry, fields[0])
+	}
+	tgt := fields[1]
+	w.Factor = 1
+	if star := strings.IndexByte(tgt, '*'); star >= 0 {
+		f, err := strconv.ParseFloat(tgt[star+1:], 64)
+		if err != nil {
+			return w, fmt.Errorf("fault: %q: bad factor: %v", entry, err)
+		}
+		w.Factor = f
+		tgt = tgt[:star]
+	}
+	n, err := strconv.Atoi(tgt)
+	if err != nil {
+		return w, fmt.Errorf("fault: %q: bad target: %v", entry, err)
+	}
+	w.Target = n
+	if w.Kind == LinkDrop {
+		if len(fields) != 3 {
+			return w, fmt.Errorf("fault: %q: drop wants drop:node:prob", entry)
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return w, fmt.Errorf("fault: %q: bad probability: %v", entry, err)
+		}
+		w.Prob = p
+	} else if len(fields) != 2 {
+		return w, fmt.Errorf("fault: %q: unexpected field %q", entry, fields[2])
+	}
+	return w, nil
+}
+
+// parseSpan parses "start[-end]" as Go durations.
+func parseSpan(s string) (start, end time.Duration, err error) {
+	parts := strings.SplitN(s, "-", 2)
+	start, err = time.ParseDuration(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad start: %v", err)
+	}
+	if len(parts) == 2 {
+		end, err = time.ParseDuration(parts[1])
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad end: %v", err)
+		}
+	}
+	return start, end, nil
+}

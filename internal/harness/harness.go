@@ -13,6 +13,7 @@ import (
 
 	"dualpar/internal/cluster"
 	"dualpar/internal/core"
+	"dualpar/internal/fault"
 	"dualpar/internal/metrics"
 	"dualpar/internal/mpiio"
 	"dualpar/internal/workloads"
@@ -96,7 +97,27 @@ func (m measured) throughputMBs() float64 {
 // execute runs the given programs together on a fresh cluster and returns
 // per-program measurements (in spec order) plus the cluster for stats.
 func execute(seed int64, trace bool, maxTime time.Duration, ddCfg core.Config, specs []runSpec) ([]measured, *cluster.Cluster) {
-	cl := paperCluster(seed, trace)
+	return executeOn(paperCluster(seed, trace), maxTime, ddCfg, specs)
+}
+
+// executeFaults is execute with a fault schedule threaded through the
+// cluster and the retry watchdogs armed at both layers (PFS client request
+// timeouts plus the coarser CRM batch watchdog above them), so degraded
+// runs make progress instead of pinning on a straggler.
+func executeFaults(seed int64, maxTime time.Duration, ddCfg core.Config, sch *fault.Schedule, specs []runSpec) ([]measured, *cluster.Cluster) {
+	cfg := cluster.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Faults = sch
+	cfg.PFS.RequestTimeout = 250 * time.Millisecond
+	cfg.PFS.MaxRetries = 4
+	cfg.PFS.RetryBackoff = 20 * time.Millisecond
+	ddCfg.CRMTimeout = 2 * time.Second
+	ddCfg.CRMMaxRetries = 3
+	ddCfg.CRMBackoff = 50 * time.Millisecond
+	return executeOn(cluster.New(cfg), maxTime, ddCfg, specs)
+}
+
+func executeOn(cl *cluster.Cluster, maxTime time.Duration, ddCfg core.Config, specs []runSpec) ([]measured, *cluster.Cluster) {
 	r := core.NewRunner(cl, ddCfg)
 	var runs []*core.ProgramRun
 	for _, sp := range specs {

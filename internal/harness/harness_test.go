@@ -309,3 +309,24 @@ func TestAblatePipelineImproves(t *testing.T) {
 			x4, paper, res.Table.String())
 	}
 }
+
+func TestStragglerToleranceShapes(t *testing.T) {
+	res := Straggler(quick())
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("quick sweep rows = %d, want 2:\n%s", len(res.Table.Rows), res.Table.String())
+	}
+	// Every cell must have completed (liveness under a 10x-degraded server).
+	for row := range res.Table.Rows {
+		if cell(t, res, row, 1) <= 0 || cell(t, res, row, 3) <= 0 {
+			t.Fatalf("a degraded run did not finish:\n%s", res.Table.String())
+		}
+	}
+	// DualPar's batched list I/O must bound the straggler's blast radius:
+	// its relative slowdown at 10x stays below vanilla's.
+	vanSlow := cell(t, res, 1, 1) / cell(t, res, 0, 1)
+	ddSlow := cell(t, res, 1, 3) / cell(t, res, 0, 3)
+	if ddSlow >= vanSlow {
+		t.Errorf("dualpar slowdown %.2fx not below vanilla %.2fx under a 10x straggler:\n%s",
+			ddSlow, vanSlow, res.Table.String())
+	}
+}

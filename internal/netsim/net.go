@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"dualpar/internal/fault"
 	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
@@ -20,12 +21,19 @@ type Config struct {
 	Latency time.Duration
 	// Bandwidth is the per-direction link rate in bytes/second.
 	Bandwidth float64
+	// RetransmitTimeout is what a sender pays before retrying a message the
+	// fault layer dropped (the transport's RTO; TCP's floor of the era).
+	RetransmitTimeout time.Duration
 }
 
 // DefaultConfig approximates switched Gigabit Ethernet: ~940 Mb/s goodput
 // and 100 µs one-way latency.
 func DefaultConfig() Config {
-	return Config{Latency: 100 * time.Microsecond, Bandwidth: 117e6}
+	return Config{
+		Latency:           100 * time.Microsecond,
+		Bandwidth:         117e6,
+		RetransmitTimeout: 200 * time.Millisecond,
+	}
 }
 
 // Validate reports configuration errors.
@@ -35,6 +43,9 @@ func (c Config) Validate() error {
 	}
 	if c.Bandwidth <= 0 {
 		return fmt.Errorf("netsim: Bandwidth %g", c.Bandwidth)
+	}
+	if c.RetransmitTimeout < 0 {
+		return fmt.Errorf("netsim: RetransmitTimeout %v", c.RetransmitTimeout)
 	}
 	return nil
 }
@@ -49,10 +60,14 @@ type Network struct {
 
 	bytesSent int64
 	messages  int64
+	drops     int64
+
+	faults *fault.Injector
 
 	obs       *obs.Collector
 	cBytes    *obs.Counter
 	cMessages *obs.Counter
+	cDrops    *obs.Counter
 }
 
 // New creates a network.
@@ -78,32 +93,61 @@ func (n *Network) SetObs(c *obs.Collector) {
 	n.obs = c
 	n.cBytes = c.Metrics().Counter("net.bytes")
 	n.cMessages = c.Metrics().Counter("net.messages")
+	n.cDrops = c.Metrics().Counter("net.drops")
 }
 
-// BytesSent and Messages report cumulative traffic.
+// SetFaults attaches a fault injector; messages then suffer the schedule's
+// link degradation and transient drops. A nil injector is a no-op.
+func (n *Network) SetFaults(inj *fault.Injector) { n.faults = inj }
+
+// BytesSent and Messages report cumulative wire traffic (same-node
+// messages never touch the wire and count toward neither).
 func (n *Network) BytesSent() int64 { return n.bytesSent }
 func (n *Network) Messages() int64  { return n.messages }
+
+// Drops reports messages lost to injected link faults (each cost the
+// sender a retransmit timeout).
+func (n *Network) Drops() int64 { return n.drops }
 
 // xfer returns the serialization time of a message.
 func (n *Network) xfer(bytes int64) time.Duration {
 	return time.Duration(float64(bytes) / n.cfg.Bandwidth * float64(time.Second))
 }
 
+// maxRetransmits bounds how often one message retries after injected
+// drops; past the cap it is delivered regardless (the link is degraded,
+// not partitioned).
+const maxRetransmits = 16
+
 // Send blocks p until a message of the given size from node from is fully
-// delivered at node to. Local (same-node) messages cost nothing.
+// delivered at node to. Local (same-node) messages never touch the wire:
+// they cost nothing and count toward neither traffic counter.
 func (n *Network) Send(p *sim.Proc, from, to int, bytes int64) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("netsim: negative message size %d", bytes))
 	}
-	n.messages++
-	n.cMessages.Add(1)
 	if from == to {
 		return
 	}
+	// Transport-level loss: a dropped message costs the sender a retransmit
+	// timeout before the next attempt.
+	for attempt := 0; attempt < maxRetransmits && n.faults.Drop(from, to, p.Now()); attempt++ {
+		n.drops++
+		n.cDrops.Add(1)
+		n.obs.Instant("fault.drop", "net", p.Now(),
+			obs.I64("from", int64(from)), obs.I64("to", int64(to)),
+			obs.I64("bytes", bytes))
+		p.Sleep(n.cfg.RetransmitTimeout)
+	}
+	n.messages++
+	n.cMessages.Add(1)
 	n.bytesSent += bytes
 	n.cBytes.Add(bytes)
 	now := p.Now()
 	x := n.xfer(bytes)
+	if f := n.faults.LinkFactor(from, to, now); f > 1 {
+		x = time.Duration(float64(x) * f)
+	}
 
 	start := now
 	if n.tx[from] > start {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"dualpar/internal/fault"
 	"dualpar/internal/sim"
 )
 
@@ -122,11 +123,61 @@ func TestTrafficCounters(t *testing.T) {
 	n := New(k, DefaultConfig())
 	k.Spawn("p", func(p *sim.Proc) {
 		n.Send(p, 0, 1, 1000)
-		n.Send(p, 0, 0, 1000) // local: message counted, bytes not on wire
+		n.Send(p, 0, 0, 1000) // local: never on the wire, counts toward neither
 	})
 	k.Run()
-	if n.BytesSent() != 1000 || n.Messages() != 2 {
-		t.Fatalf("bytes=%d messages=%d, want 1000/2", n.BytesSent(), n.Messages())
+	if n.BytesSent() != 1000 || n.Messages() != 1 {
+		t.Fatalf("bytes=%d messages=%d, want 1000/1", n.BytesSent(), n.Messages())
+	}
+}
+
+func TestFaultDropChargesRetransmitTimeout(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := Config{Latency: 0, Bandwidth: 1e6, RetransmitTimeout: 300 * time.Millisecond}
+	n := New(k, cfg)
+	// Drop every attempt (prob capped at 0.95, so use many tries' worth of
+	// certainty via prob close to 1 is not possible; instead drop window
+	// with p=0.95 and a fixed seed gives a deterministic drop count).
+	n.SetFaults(fault.NewInjector(k, &fault.Schedule{Windows: []fault.Window{
+		{Kind: fault.LinkDrop, Target: 1, Prob: 0.95, Start: 0, End: time.Hour},
+	}}, 42, nil))
+	var took time.Duration
+	k.Spawn("sender", func(p *sim.Proc) {
+		t0 := p.Now()
+		n.Send(p, 0, 1, 1e6) // 1 s serialization + drops
+		took = p.Now() - t0
+	})
+	k.Run()
+	if n.Drops() == 0 {
+		t.Fatalf("no drops at p=0.95")
+	}
+	want := time.Second + time.Duration(n.Drops())*cfg.RetransmitTimeout
+	if took != want {
+		t.Fatalf("delivery took %v with %d drops, want %v", took, n.Drops(), want)
+	}
+}
+
+func TestFaultLinkDegradeInflatesSerialization(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k, Config{Latency: 0, Bandwidth: 1e6})
+	n.SetFaults(fault.NewInjector(k, &fault.Schedule{Windows: []fault.Window{
+		{Kind: fault.LinkSlow, Target: 1, Factor: 4},
+	}}, 1, nil))
+	var slow, healthy time.Duration
+	k.Spawn("sender", func(p *sim.Proc) {
+		t0 := p.Now()
+		n.Send(p, 0, 1, 1e6) // degraded endpoint: 4x serialization
+		slow = p.Now() - t0
+		t0 = p.Now()
+		n.Send(p, 2, 3, 1e6) // untouched pair
+		healthy = p.Now() - t0
+	})
+	k.Run()
+	if healthy != time.Second {
+		t.Fatalf("healthy transfer took %v, want 1s", healthy)
+	}
+	if slow != 4*time.Second {
+		t.Fatalf("degraded transfer took %v, want 4s", slow)
 	}
 }
 

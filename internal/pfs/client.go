@@ -1,6 +1,8 @@
 package pfs
 
 import (
+	"fmt"
+
 	"dualpar/internal/ext"
 	"dualpar/internal/obs"
 	"dualpar/internal/sim"
@@ -73,10 +75,27 @@ func (c *Client) Write(p *sim.Proc, name string, extents []ext.Extent, origin in
 	}
 }
 
+// issued is one outstanding server request with what a retry needs to
+// reissue it.
+type issued struct {
+	srv      *Server
+	msg      int64
+	attempts []*serverReq // all reissues share the first request's done signal
+}
+
+func (is *issued) finished() bool {
+	for _, a := range is.attempts {
+		if a.fin {
+			return true
+		}
+	}
+	return false
+}
+
 func (c *Client) transfer(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx, write bool) {
 	fsys := c.fsys
 	per := fsys.split(extents)
-	var reqs []*serverReq
+	var reqs []*issued
 	for i, lst := range per {
 		if len(lst) == 0 {
 			continue
@@ -98,11 +117,68 @@ func (c *Client) transfer(p *sim.Proc, name string, extents []ext.Extent, origin
 		fsys.net.SendTraced(p, c.Node, srv.Node, msg, rc)
 		req.enq = p.Now()
 		srv.queue.Put(req)
-		reqs = append(reqs, req)
+		reqs = append(reqs, &issued{srv: srv, msg: msg, attempts: []*serverReq{req}})
 	}
-	for _, req := range reqs {
-		for !req.fin {
-			req.done.Wait(p)
+	for _, is := range reqs {
+		c.await(p, is)
+	}
+}
+
+// await blocks until one attempt of the request finishes. With
+// RequestTimeout armed, an unanswered request is reissued after the
+// timeout with bounded exponential backoff; the abandoned original keeps
+// running server-side (duplicate service costs time, as real retries do)
+// and whichever attempt finishes first releases the client.
+func (c *Client) await(p *sim.Proc, is *issued) {
+	fsys := c.fsys
+	done := is.attempts[0].done
+	if fsys.cfg.RequestTimeout <= 0 {
+		for !is.finished() {
+			done.Wait(p)
 		}
+		return
+	}
+	timeout := fsys.cfg.RequestTimeout
+	backoff := fsys.cfg.RetryBackoff
+	for retry := 0; ; retry++ {
+		deadline := p.Now() + timeout
+		for !is.finished() && p.Now() < deadline {
+			done.WaitTimeout(p, deadline-p.Now())
+		}
+		if is.finished() {
+			return
+		}
+		if retry >= fsys.cfg.MaxRetries {
+			// Out of retries: the server is degraded, not gone. Wait it out
+			// rather than fail — the simulation has no error path to lose
+			// data into.
+			for !is.finished() {
+				done.Wait(p)
+			}
+			return
+		}
+		fsys.retries++
+		first := is.attempts[0]
+		fsys.obs.Instant("retry", fmt.Sprintf("client%d", c.Node), p.Now(),
+			obs.I64("server", int64(is.srv.Index)), obs.I64("attempt", int64(retry+1)),
+			obs.Str("file", first.file))
+		if backoff > 0 {
+			p.Sleep(backoff)
+			backoff *= 2
+		}
+		dup := &serverReq{
+			file:    first.file,
+			extents: first.extents,
+			write:   first.write,
+			origin:  first.origin,
+			client:  first.client,
+			done:    done,
+			rc:      first.rc,
+		}
+		fsys.net.SendTraced(p, c.Node, is.srv.Node, is.msg, first.rc)
+		dup.enq = p.Now()
+		is.srv.queue.Put(dup)
+		is.attempts = append(is.attempts, dup)
+		timeout *= 2
 	}
 }

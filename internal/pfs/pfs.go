@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dualpar/internal/ext"
+	"dualpar/internal/fault"
 	"dualpar/internal/fs"
 	"dualpar/internal/netsim"
 	"dualpar/internal/obs"
@@ -41,6 +42,19 @@ type Config struct {
 	// origin per server (the default, false); the true setting is an
 	// ablation that exposes CFQ's per-process queueing to client identity.
 	ClientDiskOrigins bool
+	// RequestTimeout, when positive, arms a per-server-request watchdog in
+	// the client: a request not answered within the timeout is reissued to
+	// the server (the original is abandoned, not cancelled — exactly like a
+	// client retry against a stalled server). The timeout doubles per
+	// retry. Zero (the default) disables timeouts entirely, keeping the
+	// event timeline identical to builds without the fault layer.
+	RequestTimeout time.Duration
+	// MaxRetries bounds reissues per request; after the last retry the
+	// client waits indefinitely (progress over liveness guessing).
+	MaxRetries int
+	// RetryBackoff is slept before the first reissue and doubles with each
+	// subsequent one (bounded exponential backoff).
+	RetryBackoff time.Duration
 }
 
 // DefaultConfig matches the paper's PVFS2 2.8.2 setup.
@@ -69,6 +83,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pfs: negative encoding size")
 	case c.RequestJitter < 0 || c.RequestJitter > 1:
 		return fmt.Errorf("pfs: RequestJitter %g", c.RequestJitter)
+	case c.RequestTimeout < 0:
+		return fmt.Errorf("pfs: RequestTimeout %v", c.RequestTimeout)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("pfs: MaxRetries %d", c.MaxRetries)
+	case c.RetryBackoff < 0:
+		return fmt.Errorf("pfs: RetryBackoff %v", c.RetryBackoff)
 	}
 	return nil
 }
@@ -81,6 +101,8 @@ type FileSystem struct {
 	servers []*Server
 	meta    *MetaServer
 	obs     *obs.Collector
+	faults  *fault.Injector
+	retries int64
 }
 
 // Server is one data server.
@@ -150,6 +172,20 @@ func (fsys *FileSystem) Config() Config { return fsys.cfg }
 // per-worker StageServer spans.
 func (fsys *FileSystem) SetObs(c *obs.Collector) { fsys.obs = c }
 
+// SetFaults attaches a fault injector; data servers then honor the
+// schedule's stall and CPU-slowdown windows. A nil injector is a no-op.
+func (fsys *FileSystem) SetFaults(inj *fault.Injector) { fsys.faults = inj }
+
+// Retries reports how many client request reissues the timeout watchdog
+// performed.
+func (fsys *FileSystem) Retries() int64 { return fsys.retries }
+
+// FileSize reports the size currently recorded at the metadata server (the
+// high-water mark of creates and completed writes; 0 for unknown files).
+// Unlike Client.Open this is a zero-cost peek for co-located control
+// planes such as CRM, which conceptually runs beside the metadata server.
+func (fsys *FileSystem) FileSize(name string) int64 { return fsys.meta.sizes[name] }
+
 // Obs returns the attached collector (nil when tracing is off).
 func (fsys *FileSystem) Obs() *obs.Collector { return fsys.obs }
 
@@ -179,9 +215,17 @@ func (srv *Server) workerLoop(p *sim.Proc, track string) {
 	for {
 		req := srv.queue.Get(p)
 		start := p.Now()
+		// An active stall window freezes service: the request sits in the
+		// worker until the window closes (the queue keeps filling behind it).
+		if until := fsys.faults.StallUntil(srv.Index, p.Now()); until > p.Now() {
+			p.Sleep(until - p.Now())
+		}
 		cpu := fsys.cfg.RequestCPU
 		if j := fsys.cfg.RequestJitter; j > 0 && cpu > 0 {
 			f := 1 + (fsys.k.Rand().Float64()*2-1)*j
+			cpu = time.Duration(float64(cpu) * f)
+		}
+		if f := fsys.faults.ServerFactor(srv.Index, p.Now()); f > 1 {
 			cpu = time.Duration(float64(cpu) * f)
 		}
 		p.Sleep(cpu)
