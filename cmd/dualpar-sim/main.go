@@ -6,16 +6,20 @@
 //
 //	dualpar-sim -workload mpi-io-test -mode dualpar -procs 64 -mb 128 [-write]
 //	            [-servers 9] [-sched cfq|deadline|noop] [-seed N]
-//	            [-trace out.json] [-stats] [-faults SPEC]
+//	            [-trace out.json] [-stats] [-faults SPEC] [-replicas N]
 //
 // -trace writes a Chrome trace-event JSON of every I/O request's journey
 // through the stack (load it at ui.perfetto.dev); -stats prints the metrics
 // registry (latency histograms, counters, gauges) after the run.
 //
 // -faults injects a deterministic fault schedule (see fault.Parse), e.g.
-// "disk:1*10@5s-30s;stall:2@1s-2s;drop:102:0.2@0s-10s", and arms the
-// client and CRM retry watchdogs; fault windows, drops, and retries appear
-// as instants in -trace output.
+// "disk:1*10@5s-30s;crash:2@5s-20s;drop:102:0.2@0s-10s", and arms the
+// client and CRM retry watchdogs; fault windows, drops, retries, failovers,
+// and rebuild progress appear as instants in -trace output.
+//
+// -replicas N stripes each file across N replicas (rack-stride placement);
+// reads fail over between replicas and writes complete at a majority quorum
+// when crash faults are scheduled.
 package main
 
 import (
@@ -45,7 +49,8 @@ func main() {
 	slot := flag.Duration("slot", 0, "EMC sampling slot (default 1s)")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	stats := flag.Bool("stats", false, "print the metrics registry after the run")
-	faults := flag.String("faults", "", "fault schedule, e.g. 'disk:1*10@5s-30s;stall:2@1s-2s;drop:102:0.2'")
+	faults := flag.String("faults", "", "fault schedule, e.g. 'disk:1*10@5s-30s;crash:2@5s-20s;drop:102:0.2'")
+	replicas := flag.Int("replicas", 1, "data replicas per stripe (1 = unreplicated)")
 	flag.Parse()
 
 	prog, err := buildWorkload(*workload, *procs, *mbytes<<20, *write)
@@ -62,6 +67,7 @@ func main() {
 	ccfg := cluster.DefaultConfig()
 	ccfg.DataServers = *servers
 	ccfg.Seed = *seed
+	ccfg.PFS.Replicas = *replicas
 	switch *sched {
 	case "cfq":
 	case "deadline":
@@ -127,8 +133,8 @@ func main() {
 	fmt.Printf("network:     %.1f MiB on the wire, %d messages\n",
 		float64(cl.Net.BytesSent())/(1<<20), cl.Net.Messages())
 	if *faults != "" {
-		fmt.Printf("faults:      %d windows, %d messages dropped, %d client retries\n",
-			len(ccfg.Faults.Windows), cl.Net.Drops(), cl.FS.Retries())
+		fmt.Printf("faults:      %d windows, %d messages dropped, %d client retries, %d read failovers\n",
+			len(ccfg.Faults.Windows), cl.Net.Drops(), cl.FS.Retries(), cl.FS.Failovers())
 	}
 	if c := pr.Cache(); c != nil {
 		fmt.Printf("cache:       %d gets, %d hits, %d evictions\n", c.Gets(), c.Hits(), c.Evictions())

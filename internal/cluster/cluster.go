@@ -136,6 +136,9 @@ func New(cfg Config) *Cluster {
 	}
 	fsys := pfs.New(k, net, cfg.PFS, 0, nodes, stores)
 	if inj != nil {
+		// Let the transport void messages to crash-stopped data servers and
+		// arm the PFS failure detector / online rebuild.
+		inj.BindServerNodes(nodes)
 		fsys.SetFaults(inj)
 	}
 	if cfg.Obs != nil {

@@ -159,7 +159,10 @@ func (pr *ProgramRun) superviseBatch(hp *sim.Proc, file string, batch []ext.Exte
 	}
 }
 
-// crmBatch performs one attempt of a per-home batch.
+// crmBatch performs one attempt of a per-home batch. An I/O failure (every
+// replica of a needed stripe down) is surfaced through pr.fail rather than
+// stalling the batch: the attempt completes, the collective phase moves
+// on, and the run finishes carrying the error.
 func (pr *ProgramRun) crmBatch(hp *sim.Proc, file string, batch []ext.Extent, op crmOp, home, attempt int) {
 	cl := pr.r.cl.FS.Client(home)
 	rc := pr.obs().StartRequest(fmt.Sprintf("prog%d/crm/home%d", pr.id, home))
@@ -168,12 +171,17 @@ func (pr *ProgramRun) crmBatch(hp *sim.Proc, file string, batch []ext.Extent, op
 	switch op {
 	case crmWrite:
 		verb = "crm-writeback"
-		cl.Write(hp, file, batch, pr.crmOrigin, rc)
+		pr.fail(cl.Write(hp, file, batch, pr.crmOrigin, rc))
 	case crmRead:
-		cl.Read(hp, file, batch, pr.crmOrigin, rc)
+		pr.fail(cl.Read(hp, file, batch, pr.crmOrigin, rc))
 	case crmPrefetch:
 		verb = "crm-prefetch"
-		cl.Read(hp, file, batch, pr.crmOrigin, rc)
+		if err := cl.Read(hp, file, batch, pr.crmOrigin, rc); err != nil {
+			// A failed prefetch must not populate the cache with bytes the
+			// servers never produced.
+			pr.fail(err)
+			break
+		}
 		pr.cache.PutClean(hp, home, file, batch)
 	}
 	if rc.Traced() {

@@ -251,6 +251,13 @@ func (e *emc) sampleServers() (float64, []float64) {
 		if d.Accesses == 0 {
 			continue
 		}
+		// A crash-stopped server's head is parked, not well-placed: its
+		// stale (often zero-seek) sample would drag the median down and
+		// fake an improvement signal. The delta above still consumes the
+		// window so recovery restarts sampling cleanly.
+		if !e.r.cl.FS.Alive(i) {
+			continue
+		}
 		per = append(per, float64(d.SeekSectors)/float64(d.Accesses))
 	}
 	if len(per) == 0 {

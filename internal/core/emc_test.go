@@ -1,6 +1,13 @@
 package core
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"dualpar/internal/cluster"
+	"dualpar/internal/fault"
+	"dualpar/internal/workloads"
+)
 
 // TestEMCIdleSlotPreservesHysteresis is the regression test for the
 // empty-slot bug: a slot with no instrumented rank activity (dIO+dComp ==
@@ -85,5 +92,52 @@ func TestMedianRobustToStraggler(t *testing.T) {
 	}
 	if got := median([]float64{7}); got != 7 {
 		t.Fatalf("single-element median = %g, want 7", got)
+	}
+}
+
+// TestEMCSkipsCrashedServerSamples: the slot that spans a crash still has
+// partial-slot disk accesses from the dead server; its parked-head sample
+// must not enter the seek-distance median. Server 1 crashes mid-slot; the
+// first slot's per-server samples must exclude it while the live servers
+// (which did I/O the whole slot) remain.
+func TestEMCSkipsCrashedServerSamples(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.DataServers = 3
+	d := cfg.Disk
+	d.Sectors = 1 << 25
+	cfg.Disk = d
+	cfg.Seed = 1
+	cfg.PFS.Replicas = 2
+	cfg.PFS.RequestTimeout = 100 * time.Millisecond
+	cfg.PFS.MaxRetries = 4
+	cfg.PFS.RetryBackoff = 10 * time.Millisecond
+	cfg.Faults = &fault.Schedule{Windows: []fault.Window{
+		{Kind: fault.ServerCrash, Target: 1, Start: 500 * time.Millisecond},
+	}}
+	cl := cluster.New(cfg)
+	m := workloads.DefaultMPIIOTest()
+	m.Procs = 8
+	m.FileBytes = 16 << 20
+	r := NewRunner(cl, DefaultConfig())
+	pr := r.Add(m, ModeDualPar, AddOptions{RanksPerNode: 4})
+	if !r.Run(time.Hour) {
+		t.Fatal("run did not finish")
+	}
+	if pr.Elapsed() < time.Second {
+		t.Skipf("workload finished in %v, before the first EMC slot", pr.Elapsed())
+	}
+	if cl.FS.Alive(1) {
+		t.Fatal("server 1 should be down in the client view")
+	}
+	if len(r.emc.Decisions) == 0 {
+		t.Fatal("no EMC decisions recorded")
+	}
+	// The first slot (t=1s) spans the crash at 500ms: server 1 did I/O for
+	// half the slot, so without the liveness filter it would contribute a
+	// third sample.
+	first := r.emc.Decisions[0]
+	if len(first.PerServerSeek) > 2 {
+		t.Fatalf("first slot sampled %d servers, want <= 2 (crashed server filtered)",
+			len(first.PerServerSeek))
 	}
 }

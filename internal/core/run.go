@@ -163,6 +163,7 @@ type ProgramRun struct {
 	EndedAt   time.Duration
 	doneRanks int
 	Done      bool
+	ioErr     error // first surfaced I/O failure (e.g. pfs.ErrRetriesExhausted)
 
 	// ModeSwitches logs (time, on/off) transitions for Fig 7-style plots.
 	ModeSwitches []ModeSwitch
@@ -203,6 +204,26 @@ func (pr *ProgramRun) Elapsed() time.Duration {
 // MisSamples returns the recorded per-cycle mis-prefetch ratios.
 func (pr *ProgramRun) MisSamples() []float64 { return pr.misSamples }
 
+// Err returns the first I/O failure any of the program's ranks or its CRM
+// surfaced (nil when the run was clean). A run can be Done with a non-nil
+// Err: I/O errors mean data loss, not a wedged program.
+func (pr *ProgramRun) Err() error { return pr.ioErr }
+
+// fail records the program's first I/O failure. Failures do not stop the
+// run — the paper's library would report the error to the application and
+// keep serving other ranks — but they are surfaced in Err() and the trace
+// instead of being swallowed into a stall.
+func (pr *ProgramRun) fail(err error) {
+	if err == nil {
+		return
+	}
+	if pr.ioErr == nil {
+		pr.ioErr = err
+	}
+	pr.obs().Instant("io.error", pr.ctrlTrack(), pr.r.cl.K.Now(),
+		obs.I64("program", int64(pr.id)), obs.Str("error", err.Error()))
+}
+
 // Cycles reports completed data-driven cycles (0 without a controller).
 func (pr *ProgramRun) Cycles() int64 {
 	if pr.ctrl == nil {
@@ -238,6 +259,7 @@ func (pr *ProgramRun) file(name string) *mpiio.File {
 	if f == nil {
 		f = mpiio.Open(pr.world, pr.r.cl.FS, name, pr.mpiioC, pr.instr, pr.origins)
 		f.SetTrack(fmt.Sprintf("prog%d", pr.id))
+		f.SetErrSink(pr.fail)
 		pr.files[name] = f
 	}
 	return f

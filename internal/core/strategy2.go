@@ -79,10 +79,16 @@ func (s *strategy2) prefetchLoop(p *sim.Proc, rank int) {
 					one := []ext.Extent{e}
 					rc := s.pr.obs().StartRequest(fmt.Sprintf("prog%d/s2/rank%d", s.pr.id, rank))
 					start := rp.Now()
-					cl.Read(rp, file, one, s.pr.origins[rank], rc)
+					err := cl.Read(rp, file, one, s.pr.origins[rank], rc)
 					if rc.Traced() {
 						s.pr.obs().Span(rc.ID, obs.StageRequest, rc.Track, start, rp.Now(),
 							obs.Str("verb", "s2-prefetch"), obs.I64("bytes", e.Len))
+					}
+					if err != nil {
+						// A failed prefetch must not seed the cache; the
+						// consumer's own read will surface the error.
+						s.pr.fail(err)
+						return
 					}
 					s.pr.cache.PutClean(rp, node, file, one)
 				})

@@ -14,6 +14,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -39,6 +40,12 @@ const (
 	ServerStall
 	// ServerSlow inflates one data server's per-request CPU cost by Factor.
 	ServerSlow
+	// ServerCrash is a crash-stop failure of one data server: for the whole
+	// window the server answers nothing (requests sent to it vanish). A
+	// window with an end models recovery — the server comes back with its
+	// pre-crash durable state but without its in-flight request queue; a
+	// window without an end is a permanent failure.
+	ServerCrash
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +61,8 @@ func (k Kind) String() string {
 		return "stall"
 	case ServerSlow:
 		return "slow"
+	case ServerCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -93,10 +102,16 @@ func (w Window) Validate() error {
 	}
 	switch w.Kind {
 	case DiskSlow, LinkSlow, ServerSlow:
+		if math.IsNaN(w.Factor) || math.IsInf(w.Factor, 0) {
+			return fmt.Errorf("fault: %v factor %g is not finite", w.Kind, w.Factor)
+		}
 		if w.Factor < 1 {
 			return fmt.Errorf("fault: %v factor %g < 1", w.Kind, w.Factor)
 		}
 	case LinkDrop:
+		if math.IsNaN(w.Prob) || math.IsInf(w.Prob, 0) {
+			return fmt.Errorf("fault: drop probability %g is not finite", w.Prob)
+		}
 		if w.Prob <= 0 || w.Prob > 0.95 {
 			return fmt.Errorf("fault: drop probability %g outside (0,0.95]", w.Prob)
 		}
@@ -104,6 +119,8 @@ func (w Window) Validate() error {
 		if w.End <= 0 {
 			return fmt.Errorf("fault: stall window must have an end")
 		}
+	case ServerCrash:
+		// No factor or probability; an open window is a permanent failure.
 	default:
 		return fmt.Errorf("fault: unknown kind %d", int(w.Kind))
 	}
@@ -139,6 +156,13 @@ type Injector struct {
 	windows []Window
 	rng     *rand.Rand
 	obs     *obs.Collector
+	// onServer receives crash/recovery transitions for data servers, in
+	// schedule order at the window boundary events. Registered before the
+	// kernel runs; never mutated afterwards.
+	onServer []func(server int, up bool, at time.Duration)
+	// serverNodes maps data-server index -> network node id, so the
+	// transport can refuse delivery to crashed servers (NodeCrashed).
+	serverNodes map[int]int
 }
 
 // NewInjector creates an injector for sch on kernel k. It panics on an
@@ -162,16 +186,111 @@ func NewInjector(k *sim.Kernel, sch *Schedule, seed int64, c *obs.Collector) *In
 				obs.I64("window", int64(i)), obs.Str("kind", w.Kind.String()),
 				obs.I64("target", int64(w.Target)),
 				obs.F64("factor", w.Factor), obs.F64("prob", w.Prob))
+			if w.Kind == ServerCrash {
+				inj.notifyServer(w.Target, false, k.Now())
+			}
 		})
 		if w.End > 0 {
 			k.After(w.End, func() {
 				inj.obs.Instant("fault.end", "fault", k.Now(),
 					obs.I64("window", int64(i)), obs.Str("kind", w.Kind.String()),
 					obs.I64("target", int64(w.Target)))
+				if w.Kind == ServerCrash && !inj.Crashed(w.Target, k.Now()) {
+					inj.notifyServer(w.Target, true, k.Now())
+				}
 			})
 		}
 	}
 	return inj
+}
+
+// OnServerState registers a listener for data-server crash (up=false) and
+// recovery (up=true) transitions. Listeners run at the window boundary in
+// schedule order. Register before the kernel starts running.
+func (inj *Injector) OnServerState(fn func(server int, up bool, at time.Duration)) {
+	if inj == nil {
+		return
+	}
+	inj.onServer = append(inj.onServer, fn)
+}
+
+func (inj *Injector) notifyServer(server int, up bool, at time.Duration) {
+	for _, fn := range inj.onServer {
+		fn(server, up, at)
+	}
+}
+
+// Crashed reports whether a data server is crash-stopped at now.
+func (inj *Injector) Crashed(server int, now time.Duration) bool {
+	if inj == nil {
+		return false
+	}
+	for _, w := range inj.windows {
+		if w.Kind == ServerCrash && w.Target == server && w.active(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashedDuring reports whether any crash window on a data server overlaps
+// the closed interval [from, to]. The PFS server uses this to drop requests
+// whose service straddled a crash: even if the server is back up at
+// completion time, the in-flight queue died with it.
+func (inj *Injector) CrashedDuring(server int, from, to time.Duration) bool {
+	if inj == nil {
+		return false
+	}
+	for _, w := range inj.windows {
+		if w.Kind == ServerCrash && w.Target == server &&
+			w.Start <= to && (w.End <= 0 || w.End > from) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasCrashWindows reports whether the schedule contains any crash windows
+// (including ones not yet begun). Layers use it to decide whether crash
+// bookkeeping is needed at all, keeping crash-free runs on the exact legacy
+// code path.
+func (inj *Injector) HasCrashWindows() bool {
+	if inj == nil {
+		return false
+	}
+	for _, w := range inj.windows {
+		if w.Kind == ServerCrash {
+			return true
+		}
+	}
+	return false
+}
+
+// BindServerNodes tells the injector which network node hosts each data
+// server (index i of nodes is server i), enabling NodeCrashed queries from
+// the transport.
+func (inj *Injector) BindServerNodes(nodes []int) {
+	if inj == nil {
+		return
+	}
+	inj.serverNodes = make(map[int]int, len(nodes))
+	for srv, node := range nodes {
+		inj.serverNodes[srv] = node
+	}
+}
+
+// NodeCrashed reports whether the network node is a crashed data server at
+// now. Nodes that host no data server are never crashed.
+func (inj *Injector) NodeCrashed(node int, now time.Duration) bool {
+	if inj == nil || inj.serverNodes == nil {
+		return false
+	}
+	for srv, n := range inj.serverNodes {
+		if n == node && inj.Crashed(srv, now) {
+			return true
+		}
+	}
+	return false
 }
 
 // factor multiplies the factors of active windows of the given kind/target.

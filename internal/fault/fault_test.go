@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -18,6 +19,23 @@ func TestParse(t *testing.T) {
 		{Kind: LinkDrop, Target: 102, Factor: 1, Prob: 0.2, End: 10 * time.Second},
 		{Kind: LinkSlow, Target: 3, Factor: 4},
 	}
+	checkParse(t, sch, want)
+}
+
+func TestParseCrash(t *testing.T) {
+	sch, err := Parse("crash:2@5s; crash:4@1s-20s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Window{
+		{Kind: ServerCrash, Target: 2, Factor: 1, Start: 5 * time.Second},
+		{Kind: ServerCrash, Target: 4, Factor: 1, Start: time.Second, End: 20 * time.Second},
+	}
+	checkParse(t, sch, want)
+}
+
+func checkParse(t *testing.T, sch *Schedule, want []Window) {
+	t.Helper()
 	if len(sch.Windows) != len(want) {
 		t.Fatalf("parsed %d windows, want %d", len(sch.Windows), len(want))
 	}
@@ -49,10 +67,157 @@ func TestParseErrors(t *testing.T) {
 		"disk:x*2",          // bad target
 		"disk:1*2@later-5s", // bad duration
 		"slow:1:0.5",        // stray field on a non-drop kind
+		"disk:1*",           // empty factor
+		"disk:1*2@5s@30s",   // duplicate '@'
+		"drop:5:-0.2",       // negative probability
+		"disk:1*NaN",        // non-finite factor
+		"disk:1*+Inf",       // non-finite factor
+		"drop:5:NaN",        // non-finite probability
+		"disk:1*2@1s--2s",   // negative end
+		"stall:2*3@1s-2s",   // factor on a kind that takes none
+		"crash:2*3@1s",      // factor on a kind that takes none
+		"crash:2:0.5@1s",    // stray field on crash
 	} {
-		if _, err := Parse(spec); err == nil {
+		_, err := Parse(spec)
+		if err == nil {
 			t.Errorf("Parse(%q) accepted an invalid spec", spec)
+			continue
 		}
+		// Every rejection names the offending entry.
+		if !strings.Contains(err.Error(), strings.SplitN(spec, ";", 2)[0]) {
+			t.Errorf("Parse(%q) error %q does not name the entry", spec, err)
+		}
+	}
+}
+
+func TestParseErrorNamesOffendingEntry(t *testing.T) {
+	_, err := Parse("disk:1*10@5s-30s; drop:5:-0.2")
+	if err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if !strings.Contains(err.Error(), "drop:5:-0.2") {
+		t.Fatalf("error %q does not name the bad entry", err)
+	}
+}
+
+func TestCrashedQueries(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k, &Schedule{Windows: []Window{
+		{Kind: ServerCrash, Target: 1, Start: 5 * time.Second, End: 10 * time.Second},
+		{Kind: ServerCrash, Target: 2, Start: 3 * time.Second}, // permanent
+	}}, 7, nil)
+	if inj.Crashed(1, 4*time.Second) {
+		t.Error("server 1 crashed before its window")
+	}
+	if !inj.Crashed(1, 7*time.Second) {
+		t.Error("server 1 alive inside its crash window")
+	}
+	if inj.Crashed(1, 10*time.Second) {
+		t.Error("server 1 still crashed after recovery")
+	}
+	if !inj.Crashed(2, time.Hour) {
+		t.Error("permanent crash recovered")
+	}
+	if inj.Crashed(0, 7*time.Second) {
+		t.Error("healthy server reported crashed")
+	}
+	// Overlap semantics: service intervals straddling the crash are lost.
+	for _, tc := range []struct {
+		from, to time.Duration
+		want     bool
+	}{
+		{0, 4 * time.Second, false},                 // entirely before
+		{11 * time.Second, 12 * time.Second, false}, // entirely after
+		{4 * time.Second, 6 * time.Second, true},    // straddles the start
+		{9 * time.Second, 11 * time.Second, true},   // straddles the end
+		{0, time.Hour, true},                        // spans the window
+	} {
+		if got := inj.CrashedDuring(1, tc.from, tc.to); got != tc.want {
+			t.Errorf("CrashedDuring(1, %v, %v) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+	if !inj.HasCrashWindows() {
+		t.Error("HasCrashWindows false with crash windows present")
+	}
+	healthy := NewInjector(sim.NewKernel(1), &Schedule{Windows: []Window{
+		{Kind: DiskSlow, Target: 1, Factor: 2},
+	}}, 7, nil)
+	if healthy.HasCrashWindows() {
+		t.Error("HasCrashWindows true without crash windows")
+	}
+}
+
+func TestServerStateNotifications(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k, &Schedule{Windows: []Window{
+		{Kind: ServerCrash, Target: 1, Start: 5 * time.Second, End: 10 * time.Second},
+		{Kind: ServerCrash, Target: 2, Start: 3 * time.Second},
+	}}, 7, nil)
+	type ev struct {
+		server int
+		up     bool
+		at     time.Duration
+	}
+	var got []ev
+	inj.OnServerState(func(server int, up bool, at time.Duration) {
+		got = append(got, ev{server, up, at})
+	})
+	k.RunUntil(time.Hour)
+	want := []ev{
+		{2, false, 3 * time.Second},
+		{1, false, 5 * time.Second},
+		{1, true, 10 * time.Second},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d transitions %+v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("transition %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRecoveryNotSignaledWhileStillCrashed(t *testing.T) {
+	// Two overlapping crash windows: the first ends while the second still
+	// covers the server, so no recovery fires until the second ends.
+	k := sim.NewKernel(1)
+	inj := NewInjector(k, &Schedule{Windows: []Window{
+		{Kind: ServerCrash, Target: 1, Start: 2 * time.Second, End: 6 * time.Second},
+		{Kind: ServerCrash, Target: 1, Start: 4 * time.Second, End: 9 * time.Second},
+	}}, 7, nil)
+	var ups []time.Duration
+	inj.OnServerState(func(server int, up bool, at time.Duration) {
+		if up {
+			ups = append(ups, at)
+		}
+	})
+	k.RunUntil(time.Hour)
+	if len(ups) != 1 || ups[0] != 9*time.Second {
+		t.Fatalf("recovery transitions %v, want exactly [9s]", ups)
+	}
+}
+
+func TestNodeCrashed(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k, &Schedule{Windows: []Window{
+		{Kind: ServerCrash, Target: 1, Start: 5 * time.Second},
+	}}, 7, nil)
+	inj.BindServerNodes([]int{10, 11, 12})
+	if inj.NodeCrashed(11, 4*time.Second) {
+		t.Error("node crashed before the window")
+	}
+	if !inj.NodeCrashed(11, 6*time.Second) {
+		t.Error("node of crashed server not reported")
+	}
+	if inj.NodeCrashed(10, 6*time.Second) || inj.NodeCrashed(99, 6*time.Second) {
+		t.Error("unrelated node reported crashed")
+	}
+	unbound := NewInjector(sim.NewKernel(1), &Schedule{Windows: []Window{
+		{Kind: ServerCrash, Target: 1},
+	}}, 7, nil)
+	if unbound.NodeCrashed(11, time.Second) {
+		t.Error("unbound injector reported a crashed node")
 	}
 }
 
@@ -188,6 +353,14 @@ func TestNilInjectorIsHealthy(t *testing.T) {
 	if inj.Enabled() {
 		t.Error("nil injector reports enabled")
 	}
+	if inj.Crashed(0, 0) || inj.CrashedDuring(0, 0, time.Hour) || inj.NodeCrashed(0, 0) {
+		t.Error("nil injector reported a crash")
+	}
+	if inj.HasCrashWindows() {
+		t.Error("nil injector has crash windows")
+	}
+	inj.OnServerState(func(int, bool, time.Duration) {}) // must not panic
+	inj.BindServerNodes([]int{1, 2})                     // must not panic
 }
 
 func TestEmptyScheduleAddsNoEvents(t *testing.T) {

@@ -1,0 +1,65 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts Parse's contract on arbitrary input: it never panics,
+// and any schedule it accepts validates cleanly (so NewInjector cannot
+// panic on a parsed schedule) with only finite numeric fields.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"  ",
+		"disk:1*10",
+		"disk:1*10@5s-30s; stall:2@1s-2s, drop:102:0.2@0s-10s;link:3*4",
+		"slow:4*2.5@100ms",
+		"crash:2@5s",
+		"crash:2@5s-20s",
+		"drop:5:0.95",
+		"disk:1*",
+		"disk:1*2@5s@30s",
+		"drop:5:-0.2",
+		"disk:1*NaN",
+		"drop:5:+Inf",
+		"disk:1*2@1s--2s",
+		"stall:2*3@1s-2s",
+		"crash:2:0.5@1s",
+		"melt:1*2",
+		"disk:-1*2",
+		"disk:1*1e309",
+		";;;,,,",
+		"disk:1*10@",
+		"@5s",
+		"crash:9999999999999999999@1s",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		sch, err := Parse(spec)
+		if err != nil {
+			if sch != nil {
+				t.Fatalf("Parse(%q) returned both a schedule and error %v", spec, err)
+			}
+			return
+		}
+		if err := sch.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted a schedule that fails Validate: %v", spec, err)
+		}
+		for _, w := range sch.Windows {
+			for name, v := range map[string]float64{"factor": w.Factor, "prob": w.Prob} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("Parse(%q) let a non-finite %s through: %+v", spec, name, w)
+				}
+			}
+			if w.End > 0 && w.End <= w.Start {
+				t.Fatalf("Parse(%q) accepted inverted window %+v", spec, w)
+			}
+		}
+		if !sch.Empty() && strings.TrimSpace(spec) == "" {
+			t.Fatalf("blank spec %q parsed to windows %+v", spec, sch.Windows)
+		}
+	})
+}

@@ -12,17 +12,22 @@ import (
 //
 //	kind:target[*factor][:prob][@start[-end]]
 //
-// where kind is disk|link|slow|stall|drop, target is a data-server index
-// (disk/slow/stall) or network node id (link/drop), factor is the slowdown
-// multiplier (disk/link/slow), prob is the drop probability (drop only),
-// and start/end are Go durations in virtual time (omitted end = open
-// window; stall requires an end). Examples:
+// where kind is disk|link|slow|stall|drop|crash, target is a data-server
+// index (disk/slow/stall/crash) or network node id (link/drop), factor is
+// the slowdown multiplier (disk/link/slow only), prob is the drop
+// probability (drop only), and start/end are Go durations in virtual time
+// (omitted end = open window; stall requires an end, and a crash without an
+// end never recovers). Examples:
 //
 //	disk:1*10            server 1's disk 10x slower for the whole run
 //	disk:1*10@5s-30s     the same, between t=5s and t=30s
 //	stall:2@1s-2s        server 2 freezes for one second
 //	drop:102:0.2@0s-10s  20% message loss at node 102 for 10 seconds
 //	link:3*4             node 3's links serialize 4x slower
+//	crash:2@5s           server 2 crash-stops at t=5s, forever
+//	crash:2@5s-20s       the same, but it recovers at t=20s
+//
+// Every rejected spec names the offending entry in the error.
 func Parse(spec string) (*Schedule, error) {
 	sch := &Schedule{}
 	spec = strings.TrimSpace(spec)
@@ -30,14 +35,15 @@ func Parse(spec string) (*Schedule, error) {
 		return sch, nil
 	}
 	for _, entry := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
-		w, err := parseWindow(strings.TrimSpace(entry))
+		entry = strings.TrimSpace(entry)
+		w, err := parseWindow(entry)
 		if err != nil {
 			return nil, err
 		}
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("fault: %q: %v", entry, err)
+		}
 		sch.Windows = append(sch.Windows, w)
-	}
-	if err := sch.Validate(); err != nil {
-		return nil, err
 	}
 	return sch, nil
 }
@@ -45,6 +51,9 @@ func Parse(spec string) (*Schedule, error) {
 func parseWindow(entry string) (Window, error) {
 	var w Window
 	body := entry
+	if n := strings.Count(entry, "@"); n > 1 {
+		return w, fmt.Errorf("fault: %q: duplicate '@'", entry)
+	}
 	if at := strings.IndexByte(entry, '@'); at >= 0 {
 		body = entry[:at]
 		var err error
@@ -57,24 +66,37 @@ func parseWindow(entry string) (Window, error) {
 	if len(fields) < 2 {
 		return w, fmt.Errorf("fault: %q: want kind:target[...]", entry)
 	}
+	takesFactor := false
 	switch fields[0] {
 	case "disk":
 		w.Kind = DiskSlow
+		takesFactor = true
 	case "link":
 		w.Kind = LinkSlow
+		takesFactor = true
 	case "slow":
 		w.Kind = ServerSlow
+		takesFactor = true
 	case "stall":
 		w.Kind = ServerStall
 	case "drop":
 		w.Kind = LinkDrop
+	case "crash":
+		w.Kind = ServerCrash
 	default:
 		return w, fmt.Errorf("fault: %q: unknown kind %q", entry, fields[0])
 	}
 	tgt := fields[1]
 	w.Factor = 1
 	if star := strings.IndexByte(tgt, '*'); star >= 0 {
-		f, err := strconv.ParseFloat(tgt[star+1:], 64)
+		if !takesFactor {
+			return w, fmt.Errorf("fault: %q: %s takes no factor", entry, fields[0])
+		}
+		fs := tgt[star+1:]
+		if fs == "" {
+			return w, fmt.Errorf("fault: %q: empty factor", entry)
+		}
+		f, err := strconv.ParseFloat(fs, 64)
 		if err != nil {
 			return w, fmt.Errorf("fault: %q: bad factor: %v", entry, err)
 		}
@@ -101,7 +123,8 @@ func parseWindow(entry string) (Window, error) {
 	return w, nil
 }
 
-// parseSpan parses "start[-end]" as Go durations.
+// parseSpan parses "start[-end]" as Go durations. A negative end (e.g. the
+// "1s--2s" typo) is rejected rather than silently meaning "open window".
 func parseSpan(s string) (start, end time.Duration, err error) {
 	parts := strings.SplitN(s, "-", 2)
 	start, err = time.ParseDuration(parts[0])
@@ -112,6 +135,9 @@ func parseSpan(s string) (start, end time.Duration, err error) {
 		end, err = time.ParseDuration(parts[1])
 		if err != nil {
 			return 0, 0, fmt.Errorf("bad end: %v", err)
+		}
+		if end < 0 {
+			return 0, 0, fmt.Errorf("negative end %v", end)
 		}
 	}
 	return start, end, nil

@@ -169,13 +169,13 @@ func (f *File) aggregatorIO(p *sim.Proc, rank int, needed []ext.Extent, write bo
 	}
 	// Data sieving on writes requires read-modify-write of the holes.
 	if write && len(holes) > 0 {
-		cl.Read(p, f.name, holes, origin, rc)
+		f.ioErr(cl.Read(p, f.name, holes, origin, rc))
 	}
 	for _, batch := range batchBy(sieved, f.cfg.CollectiveBufferBytes) {
 		if write {
-			cl.Write(p, f.name, batch, origin, rc)
+			f.ioErr(cl.Write(p, f.name, batch, origin, rc))
 		} else {
-			cl.Read(p, f.name, batch, origin, rc)
+			f.ioErr(cl.Read(p, f.name, batch, origin, rc))
 		}
 	}
 	f.endRequest(p, rc, start, verb, ext.Total(needed), len(needed))

@@ -87,6 +87,7 @@ type File struct {
 	origins []int // per-rank disk-request origin tags
 	clients map[int]*pfs.Client
 	track   string // trace-track prefix ("prog0"); "mpiio" if unset
+	errSink func(error)
 }
 
 // Open creates the shared file handle. origins[r] tags rank r's disk
@@ -119,6 +120,20 @@ func (f *File) Name() string { return f.name }
 // SetTrack names the trace-track prefix for this file's operations: rank r's
 // requests land on "<prefix>/rank<r>". The default prefix is "mpiio".
 func (f *File) SetTrack(prefix string) { f.track = prefix }
+
+// SetErrSink registers a callback for I/O errors (a read or write that
+// exhausted every replica of a needed stripe). The simulated library has no
+// return path to the workload — like an MPI error handler, the sink observes
+// the failure while the operation itself completes with whatever data was
+// reachable. Nil (the default) drops errors.
+func (f *File) SetErrSink(fn func(error)) { f.errSink = fn }
+
+// ioErr feeds an operation error to the registered sink, if any.
+func (f *File) ioErr(err error) {
+	if err != nil && f.errSink != nil {
+		f.errSink(err)
+	}
+}
 
 // rankTrack is the trace track of one rank's operations.
 func (f *File) rankTrack(rank int) string {
@@ -218,18 +233,18 @@ func (f *File) independent(p *sim.Proc, rank int, extents []ext.Extent, write bo
 	}
 	if f.cfg.ListIO || len(extents) <= 1 {
 		if write {
-			cl.Write(p, f.name, extents, f.origins[rank], rc)
+			f.ioErr(cl.Write(p, f.name, extents, f.origins[rank], rc))
 		} else {
-			cl.Read(p, f.name, extents, f.origins[rank], rc)
+			f.ioErr(cl.Read(p, f.name, extents, f.origins[rank], rc))
 		}
 	} else {
 		// Vanilla: synchronous requests issued one at a time (paper §II).
 		for _, e := range extents {
 			one := []ext.Extent{e}
 			if write {
-				cl.Write(p, f.name, one, f.origins[rank], rc)
+				f.ioErr(cl.Write(p, f.name, one, f.origins[rank], rc))
 			} else {
-				cl.Read(p, f.name, one, f.origins[rank], rc)
+				f.ioErr(cl.Read(p, f.name, one, f.origins[rank], rc))
 			}
 		}
 	}
@@ -247,14 +262,14 @@ func (f *File) sieveIndependent(p *sim.Proc, rank int, extents []ext.Extent, rc 
 	sieved := ext.MergeWithHoles(extents, f.cfg.DataSieveHole)
 	if write {
 		if holes := ext.Holes(extents, sieved); len(holes) > 0 {
-			cl.Read(p, f.name, holes, origin, rc)
+			f.ioErr(cl.Read(p, f.name, holes, origin, rc))
 		}
 	}
 	for _, batch := range batchBy(sieved, f.cfg.SieveBufferBytes) {
 		if write {
-			cl.Write(p, f.name, batch, origin, rc)
+			f.ioErr(cl.Write(p, f.name, batch, origin, rc))
 		} else {
-			cl.Read(p, f.name, batch, origin, rc)
+			f.ioErr(cl.Read(p, f.name, batch, origin, rc))
 		}
 	}
 }

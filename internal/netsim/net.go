@@ -61,6 +61,7 @@ type Network struct {
 	bytesSent int64
 	messages  int64
 	drops     int64
+	voided    int64
 
 	faults *fault.Injector
 
@@ -108,6 +109,10 @@ func (n *Network) Messages() int64  { return n.messages }
 // Drops reports messages lost to injected link faults (each cost the
 // sender a retransmit timeout).
 func (n *Network) Drops() int64 { return n.drops }
+
+// Voided reports messages that vanished because an endpoint was a
+// crash-stopped data server (no retransmission — nobody is home).
+func (n *Network) Voided() int64 { return n.voided }
 
 // xfer returns the serialization time of a message.
 func (n *Network) xfer(bytes int64) time.Duration {
@@ -165,6 +170,25 @@ func (n *Network) Send(p *sim.Proc, from, to int, bytes int64) {
 	n.rx[to] = done
 
 	p.Sleep(done - now)
+}
+
+// SendLossy is Send for crash-aware callers: when either endpoint is a
+// crash-stopped data server the message vanishes — the sender still pays
+// serialization and latency (the bits leave the NIC before anyone can know
+// the peer is dead), but nothing is delivered and no retransmission
+// happens. It reports whether the message arrived. rc carries the traced
+// request for the StageNet span (zero Ctx = untraced).
+func (n *Network) SendLossy(p *sim.Proc, from, to int, bytes int64, rc obs.Ctx) bool {
+	if n.faults.NodeCrashed(from, p.Now()) || n.faults.NodeCrashed(to, p.Now()) {
+		n.voided++
+		n.obs.Instant("fault.void", "net", p.Now(),
+			obs.I64("from", int64(from)), obs.I64("to", int64(to)),
+			obs.I64("bytes", bytes))
+		n.SendTraced(p, from, to, bytes, rc)
+		return false
+	}
+	n.SendTraced(p, from, to, bytes, rc)
+	return true
 }
 
 // SendTraced is Send plus a StageNet span against rc's request, recorded on

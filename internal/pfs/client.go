@@ -2,6 +2,7 @@ package pfs
 
 import (
 	"fmt"
+	"time"
 
 	"dualpar/internal/ext"
 	"dualpar/internal/obs"
@@ -21,7 +22,7 @@ func (fsys *FileSystem) Client(node int) *Client {
 }
 
 // Create registers the file with the metadata server and pre-allocates
-// layout for size bytes on the data servers.
+// layout for size bytes on the data servers (every replica rank).
 func (c *Client) Create(p *sim.Proc, name string, size int64) {
 	fsys := c.fsys
 	fsys.net.Send(p, c.Node, fsys.meta.Node, fsys.cfg.HeaderBytes)
@@ -32,9 +33,13 @@ func (c *Client) Create(p *sim.Proc, name string, size int64) {
 	// The metadata server instructs each data server to reserve layout;
 	// modeled as a metadata-time operation (no data movement).
 	per := fsys.split([]ext.Extent{{Off: 0, Len: size}})
-	for i, srv := range fsys.servers {
-		if len(per[i]) > 0 {
-			srv.Store.Create(name, per[i][len(per[i])-1].End())
+	for i := range fsys.servers {
+		if len(per[i]) == 0 {
+			continue
+		}
+		end := per[i][len(per[i])-1].End()
+		for rank := 0; rank < fsys.replicas(); rank++ {
+			fsys.replicaServer(i, rank).Store.Create(replicaFile(name, rank), end)
 		}
 	}
 	fsys.net.Send(p, fsys.meta.Node, c.Node, fsys.cfg.HeaderBytes)
@@ -53,14 +58,23 @@ func (c *Client) Open(p *sim.Proc, name string) int64 {
 // Read performs a list-I/O read of the given file-global extents, blocking
 // p until all data has arrived. origin tags the disk requests for the I/O
 // scheduler (CFQ queues by origin); rc carries the originating traced
-// request (zero Ctx = untraced).
-func (c *Client) Read(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx) {
-	c.transfer(p, name, extents, origin, rc, false)
+// request (zero Ctx = untraced). With replication, the read is served by
+// the preferred live replica and fails over to the next one when the
+// per-request watchdog fires or the failure detector declares the target
+// dead; it returns an error wrapping ErrRetriesExhausted only when every
+// replica of some needed stripe is down.
+func (c *Client) Read(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx) error {
+	_, err := c.transfer(p, name, extents, origin, rc, false)
+	return err
 }
 
-// Write performs a list-I/O write; see Read.
-func (c *Client) Write(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx) {
-	c.transfer(p, name, extents, origin, rc, true)
+// Write performs a list-I/O write; see Read. With replication the write
+// fans out to every live replica and completes at the write quorum;
+// replicas that missed it are noted for the online rebuild.
+func (c *Client) Write(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx) error {
+	if _, err := c.transfer(p, name, extents, origin, rc, true); err != nil {
+		return err
+	}
 	fsys := c.fsys
 	if n := ext.Total(extents); n > 0 {
 		hi := int64(0)
@@ -73,14 +87,16 @@ func (c *Client) Write(p *sim.Proc, name string, extents []ext.Extent, origin in
 			fsys.meta.sizes[name] = hi
 		}
 	}
+	return nil
 }
 
 // issued is one outstanding server request with what a retry needs to
 // reissue it.
 type issued struct {
 	srv      *Server
+	rank     int
 	msg      int64
-	attempts []*serverReq // all reissues share the first request's done signal
+	attempts []*serverReq // all reissues share the group's done signal
 }
 
 func (is *issued) finished() bool {
@@ -92,7 +108,44 @@ func (is *issued) finished() bool {
 	return false
 }
 
-func (c *Client) transfer(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx, write bool) {
+// xferGroup is the per-primary-server unit of a replicated transfer: the
+// local extent list, one done signal shared by every replica attempt, and
+// the per-replica outstanding requests.
+type xferGroup struct {
+	primary int
+	file    string
+	lst     []ext.Extent
+	msg     int64
+	done    *sim.Signal
+	reps    []*issued
+	ver     int64
+}
+
+func (g *xferGroup) winner() *issued {
+	for _, is := range g.reps {
+		if is.finished() {
+			return is
+		}
+	}
+	return nil
+}
+
+func (c *Client) transfer(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx, write bool) ([]*xferGroup, error) {
+	fsys := c.fsys
+	if fsys.replicas() == 1 && !fsys.crashAware() {
+		c.legacyTransfer(p, name, extents, origin, rc, write)
+		return nil, nil
+	}
+	if write {
+		return nil, c.writeReplicated(p, name, extents, origin, rc)
+	}
+	return c.readFailover(p, name, extents, origin, rc)
+}
+
+// legacyTransfer is the pre-replication path, preserved verbatim: with
+// Replicas <= 1 and no crash windows the event timeline stays
+// byte-identical to earlier builds.
+func (c *Client) legacyTransfer(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx, write bool) {
 	fsys := c.fsys
 	per := fsys.split(extents)
 	var reqs []*issued
@@ -181,4 +234,327 @@ func (c *Client) await(p *sim.Proc, is *issued) {
 		is.attempts = append(is.attempts, dup)
 		timeout *= 2
 	}
+}
+
+// issueTo sends one replica attempt of the group to the given rank's
+// server. The message may vanish en route to a crashed server; the
+// attempt is still recorded (the client cannot know) and the watchdog or
+// view change recovers.
+func (c *Client) issueTo(p *sim.Proc, g *xferGroup, rank int, write bool, origin int, rc obs.Ctx) *issued {
+	fsys := c.fsys
+	srv := fsys.replicaServer(g.primary, rank)
+	req := &serverReq{
+		file:    replicaFile(g.file, rank),
+		extents: g.lst,
+		write:   write,
+		origin:  origin,
+		client:  c.Node,
+		done:    g.done,
+		rc:      rc,
+		ver:     g.ver,
+	}
+	is := &issued{srv: srv, rank: rank, msg: g.msg, attempts: []*serverReq{req}}
+	if fsys.net.SendLossy(p, c.Node, srv.Node, g.msg, rc) {
+		req.enq = p.Now()
+		srv.queue.Put(req)
+	}
+	g.reps = append(g.reps, is)
+	return is
+}
+
+// reissue duplicates an unanswered attempt to the same server (write
+// retries and single-replica read retries).
+func (c *Client) reissue(p *sim.Proc, g *xferGroup, is *issued, rc obs.Ctx) {
+	fsys := c.fsys
+	first := is.attempts[0]
+	dup := &serverReq{
+		file:    first.file,
+		extents: first.extents,
+		write:   first.write,
+		origin:  first.origin,
+		client:  first.client,
+		done:    g.done,
+		rc:      first.rc,
+		ver:     first.ver,
+	}
+	if fsys.net.SendLossy(p, c.Node, is.srv.Node, is.msg, first.rc) {
+		dup.enq = p.Now()
+		is.srv.queue.Put(dup)
+	}
+	is.attempts = append(is.attempts, dup)
+}
+
+// waitStep blocks until the group's done signal fires, a watchdog
+// deadline passes (deadline > 0), or — on crash-aware runs — a poll tick
+// elapses so the waiter re-reads the failure detector's view.
+func (c *Client) waitStep(p *sim.Proc, g *xferGroup, deadline time.Duration) {
+	fsys := c.fsys
+	switch {
+	case deadline > 0:
+		w := deadline - p.Now()
+		if fsys.crashAware() && w > pollEvery {
+			w = pollEvery
+		}
+		if w > 0 {
+			g.done.WaitTimeout(p, w)
+		}
+	case fsys.crashAware():
+		g.done.WaitTimeout(p, pollEvery)
+	default:
+		g.done.Wait(p)
+	}
+}
+
+// writeReplicated fans a write out to every live replica of each stripe
+// group and blocks until the write quorum acknowledges. Replicas that are
+// down — at issue time or before acking — are recorded in the rebuild
+// ledger. It fails with ErrRetriesExhausted only when no replica of some
+// stripe group can take the write.
+func (c *Client) writeReplicated(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx) error {
+	fsys := c.fsys
+	per := fsys.split(extents)
+	var ver int64
+	if fsys.tracker != nil {
+		fsys.verCounter++
+		ver = fsys.verCounter
+	}
+	var groups []*xferGroup
+	for i, lst := range per {
+		if len(lst) == 0 {
+			continue
+		}
+		g := &xferGroup{
+			primary: i,
+			file:    name,
+			lst:     lst,
+			msg:     fsys.cfg.HeaderBytes + fsys.cfg.ExtentDescBytes*int64(len(lst)) + ext.Total(lst),
+			done:    fsys.k.NewSignal(),
+			ver:     ver,
+		}
+		for rank := 0; rank < fsys.replicas(); rank++ {
+			srv := fsys.replicaServer(i, rank)
+			if fsys.down[srv.Index] {
+				// Known-dead replica: skip the wire, note it for rebuild.
+				fsys.ledger.add(srv.Index, replicaFile(name, rank), lst)
+				continue
+			}
+			c.issueTo(p, g, rank, true, origin, rc)
+		}
+		groups = append(groups, g)
+	}
+	for _, g := range groups {
+		if err := c.awaitQuorum(p, g, rc); err != nil {
+			return err
+		}
+	}
+	if fsys.tracker != nil {
+		fsys.tracker.recordExpected(name, extents, ver)
+	}
+	return nil
+}
+
+// awaitQuorum blocks until enough replicas of one stripe group ack the
+// write: the configured quorum, shrunk to the number of issued replicas
+// still live (so a crash detected mid-wait unblocks the writer).
+func (c *Client) awaitQuorum(p *sim.Proc, g *xferGroup, rc obs.Ctx) error {
+	fsys := c.fsys
+	timeout := fsys.cfg.RequestTimeout
+	backoff := fsys.cfg.RetryBackoff
+	retry := 0
+	var deadline time.Duration
+	if timeout > 0 {
+		deadline = p.Now() + timeout
+	}
+	for {
+		acks, possible := 0, 0
+		for _, is := range g.reps {
+			switch {
+			case is.finished():
+				acks++
+				possible++
+			case !fsys.down[is.srv.Index]:
+				possible++
+			}
+		}
+		if possible == 0 {
+			return &RetryError{Op: "write", File: g.file, Server: g.primary}
+		}
+		need := fsys.writeQuorum()
+		if possible < need {
+			need = possible
+		}
+		if acks >= need {
+			// Quorum met. Anything unacked on a dead server missed the
+			// write; note it so the rebuild re-copies from a peer.
+			for _, is := range g.reps {
+				if !is.finished() && fsys.down[is.srv.Index] {
+					fsys.ledger.add(is.srv.Index, replicaFile(g.file, is.rank), g.lst)
+				}
+			}
+			return nil
+		}
+		if deadline > 0 && p.Now() >= deadline {
+			if retry >= fsys.cfg.MaxRetries {
+				deadline = 0 // watchdog exhausted; wait on acks and the view
+				continue
+			}
+			retry++
+			for _, is := range g.reps {
+				if is.finished() || fsys.down[is.srv.Index] {
+					continue
+				}
+				fsys.retries++
+				fsys.obs.Instant("retry", fmt.Sprintf("client%d", c.Node), p.Now(),
+					obs.I64("server", int64(is.srv.Index)), obs.I64("attempt", int64(retry)),
+					obs.Str("file", g.file))
+				c.reissue(p, g, is, rc)
+			}
+			if backoff > 0 {
+				p.Sleep(backoff)
+				backoff *= 2
+			}
+			timeout *= 2
+			deadline = p.Now() + timeout
+			continue
+		}
+		c.waitStep(p, g, deadline)
+	}
+}
+
+// readFailover issues each stripe group's read to its preferred live
+// replica and fails over to the next replica when the watchdog fires or
+// the view declares the target dead.
+func (c *Client) readFailover(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx) ([]*xferGroup, error) {
+	fsys := c.fsys
+	per := fsys.split(extents)
+	var groups []*xferGroup
+	for i, lst := range per {
+		if len(lst) == 0 {
+			continue
+		}
+		g := &xferGroup{
+			primary: i,
+			file:    name,
+			lst:     lst,
+			msg:     fsys.cfg.HeaderBytes + fsys.cfg.ExtentDescBytes*int64(len(lst)),
+			done:    fsys.k.NewSignal(),
+		}
+		c.issueTo(p, g, fsys.preferredRank(i), false, origin, rc)
+		groups = append(groups, g)
+	}
+	for _, g := range groups {
+		if err := c.awaitRead(p, g, origin, rc); err != nil {
+			return nil, err
+		}
+	}
+	return groups, nil
+}
+
+func (c *Client) awaitRead(p *sim.Proc, g *xferGroup, origin int, rc obs.Ctx) error {
+	fsys := c.fsys
+	timeout := fsys.cfg.RequestTimeout
+	backoff := fsys.cfg.RetryBackoff
+	retry := 0
+	var deadline time.Duration
+	if timeout > 0 {
+		deadline = p.Now() + timeout
+	}
+	for {
+		if g.winner() != nil {
+			return nil
+		}
+		if fsys.allReplicasDown(g.primary) {
+			return &RetryError{Op: "read", File: g.file, Server: g.primary}
+		}
+		cur := g.reps[len(g.reps)-1]
+		if fsys.down[cur.srv.Index] {
+			// The failure detector declared the current target dead: fail
+			// over to the next live replica immediately. View-triggered
+			// failover does not consume the retry budget.
+			next, ok := fsys.nextRank(g.primary, cur.rank)
+			if !ok {
+				continue // allReplicasDown catches it next iteration
+			}
+			fsys.failovers++
+			fsys.obs.Instant("failover", fmt.Sprintf("client%d", c.Node), p.Now(),
+				obs.I64("from", int64(cur.srv.Index)),
+				obs.I64("to", int64(fsys.replicaServer(g.primary, next).Index)),
+				obs.Str("file", g.file))
+			c.issueTo(p, g, next, false, origin, rc)
+			if timeout > 0 {
+				deadline = p.Now() + timeout
+			}
+			continue
+		}
+		if deadline > 0 && p.Now() >= deadline {
+			if retry >= fsys.cfg.MaxRetries {
+				deadline = 0
+				continue
+			}
+			retry++
+			fsys.retries++
+			next, ok := fsys.nextRank(g.primary, cur.rank)
+			if !ok {
+				continue
+			}
+			nsrv := fsys.replicaServer(g.primary, next)
+			fsys.obs.Instant("retry", fmt.Sprintf("client%d", c.Node), p.Now(),
+				obs.I64("server", int64(nsrv.Index)), obs.I64("attempt", int64(retry)),
+				obs.Str("file", g.file))
+			if nsrv.Index != cur.srv.Index {
+				fsys.failovers++
+			}
+			if backoff > 0 {
+				p.Sleep(backoff)
+				backoff *= 2
+			}
+			c.issueTo(p, g, next, false, origin, rc)
+			timeout *= 2
+			deadline = p.Now() + timeout
+			continue
+		}
+		c.waitStep(p, g, deadline)
+	}
+}
+
+// ReadVersions is the integrity oracle's read: it performs a full
+// failover read of the extents (paying the same simulated cost as Read)
+// and returns the version stamps the serving replicas hold for every
+// byte, in global coordinates. Requires EnableIntegrity.
+func (c *Client) ReadVersions(p *sim.Proc, name string, extents []ext.Extent, origin int) ([]VersionSeg, error) {
+	fsys := c.fsys
+	if fsys.tracker == nil {
+		return nil, fmt.Errorf("pfs: ReadVersions without EnableIntegrity")
+	}
+	groups, err := c.readFailover(p, name, extents, origin, obs.Ctx{})
+	if err != nil {
+		return nil, err
+	}
+	winners := make(map[int]*issued, len(groups))
+	for _, g := range groups {
+		winners[g.primary] = g.winner()
+	}
+	// Re-walk the split piece by piece so each local range maps back to
+	// its global offset (split() merges adjacent local pieces, which would
+	// lose the correspondence).
+	unit := fsys.cfg.StripeUnit
+	n := int64(fsys.NumServers())
+	var out []VersionSeg
+	for _, piece := range ext.SplitAt(extents, unit) {
+		stripe := piece.Off / unit
+		primary := int(stripe % n)
+		local := (stripe/n)*unit + piece.Off%unit
+		win := winners[primary]
+		if win == nil {
+			continue
+		}
+		served := replicaFile(name, win.rank)
+		for _, s := range fsys.tracker.query(win.srv.Index, served, ext.Extent{Off: local, Len: piece.Len}) {
+			out = append(out, VersionSeg{
+				Ext: ext.Extent{Off: piece.Off + (s.Ext.Off - local), Len: s.Ext.Len},
+				Ver: s.Ver,
+			})
+		}
+	}
+	return out, nil
 }

@@ -1,0 +1,30 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRetriesExhausted is the sentinel for a request the client gave up on:
+// the retry watchdog fired MaxRetries times and the failure detector marks
+// the target server — and every replica of its stripes — down. Callers
+// match it with errors.Is and surface it as data loss / unavailability
+// rather than stalling.
+var ErrRetriesExhausted = errors.New("pfs: retries exhausted")
+
+// RetryError carries which operation on which server exhausted its
+// retries. It wraps ErrRetriesExhausted.
+type RetryError struct {
+	Op     string // "read" or "write"
+	File   string
+	Server int // primary data server of the affected stripes
+}
+
+// Error implements error.
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("pfs: %s %q: server %d and all replicas down: %v",
+		e.Op, e.File, e.Server, ErrRetriesExhausted)
+}
+
+// Unwrap lets errors.Is(err, ErrRetriesExhausted) match.
+func (e *RetryError) Unwrap() error { return ErrRetriesExhausted }

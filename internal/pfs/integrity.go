@@ -1,0 +1,205 @@
+package pfs
+
+import (
+	"sort"
+
+	"dualpar/internal/ext"
+)
+
+// The integrity tracker is the simulator's stand-in for checksumming real
+// data: the simulation moves no bytes, so instead every completed logical
+// write gets a monotonically increasing version stamp, recorded both as
+// the "expected" content of the logical file (in global coordinates) and
+// as the "applied" content of each replica that served it (in server-local
+// coordinates). Replicas apply stamps with max-wins semantics, so
+// re-ordered duplicates from retries converge. A replica that missed a
+// write (crashed) keeps the stale stamp until the online rebuild copies a
+// peer's — exactly the window a real checksum oracle would flag.
+
+// VersionSeg is one byte range and the write version stamped on it
+// (0 = never written; negative = deliberately corrupted).
+type VersionSeg struct {
+	Ext ext.Extent
+	Ver int64
+}
+
+// Tracker holds version stamps while integrity checking is enabled.
+type Tracker struct {
+	expected map[string][]VersionSeg         // logical file -> global segs
+	applied  map[int]map[string][]VersionSeg // server -> replica file -> local segs
+}
+
+// EnableIntegrity arms the end-to-end data-integrity oracle and returns
+// the tracker. Tracking is pure bookkeeping: it adds no simulation events,
+// so enabling it does not perturb the timeline.
+func (fsys *FileSystem) EnableIntegrity() *Tracker {
+	if fsys.tracker == nil {
+		fsys.tracker = &Tracker{
+			expected: make(map[string][]VersionSeg),
+			applied:  make(map[int]map[string][]VersionSeg),
+		}
+	}
+	return fsys.tracker
+}
+
+// Tracker returns the integrity tracker (nil when not enabled).
+func (fsys *FileSystem) Tracker() *Tracker { return fsys.tracker }
+
+// Files lists every logical file with expected content, sorted.
+func (t *Tracker) Files() []string {
+	names := make([]string, 0, len(t.expected))
+	for name := range t.expected {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Expected returns the logical file's expected version segs (global
+// coordinates, sorted, non-overlapping).
+func (t *Tracker) Expected(name string) []VersionSeg { return t.expected[name] }
+
+// recordExpected stamps a completed logical write.
+func (t *Tracker) recordExpected(name string, extents []ext.Extent, ver int64) {
+	if t == nil {
+		return
+	}
+	segs := t.expected[name]
+	for _, e := range extents {
+		segs = overlaySegs(segs, e, ver, false)
+	}
+	t.expected[name] = segs
+}
+
+// apply stamps a write as applied by one replica (max-wins).
+func (t *Tracker) apply(server int, file string, extents []ext.Extent, ver int64) {
+	if t == nil || ver == 0 {
+		return
+	}
+	m := t.applied[server]
+	if m == nil {
+		m = make(map[string][]VersionSeg)
+		t.applied[server] = m
+	}
+	segs := m[file]
+	for _, e := range extents {
+		segs = overlaySegs(segs, e, ver, false)
+	}
+	m[file] = segs
+}
+
+// query returns the version segs a replica holds over one local extent,
+// with unwritten gaps reported as version 0.
+func (t *Tracker) query(server int, file string, e ext.Extent) []VersionSeg {
+	var out []VersionSeg
+	cur := e.Off
+	if t != nil {
+		for _, s := range t.applied[server][file] {
+			if s.Ext.End() <= e.Off || s.Ext.Off >= e.End() {
+				continue
+			}
+			off := max(s.Ext.Off, e.Off)
+			end := min(s.Ext.End(), e.End())
+			if off > cur {
+				out = append(out, VersionSeg{Ext: ext.Extent{Off: cur, Len: off - cur}})
+			}
+			out = append(out, VersionSeg{Ext: ext.Extent{Off: off, Len: end - off}, Ver: s.Ver})
+			cur = end
+		}
+	}
+	if cur < e.End() {
+		out = append(out, VersionSeg{Ext: ext.Extent{Off: cur, Len: e.End() - cur}})
+	}
+	return out
+}
+
+// copyApplied copies a peer's stamps onto a rebuilt range (max-wins, so a
+// write applied after recovery is never regressed by the copy).
+func (t *Tracker) copyApplied(fromServer int, fromFile string, toServer int, toFile string, e ext.Extent) {
+	if t == nil {
+		return
+	}
+	for _, s := range t.query(fromServer, fromFile, e) {
+		if s.Ver == 0 {
+			continue
+		}
+		m := t.applied[toServer]
+		if m == nil {
+			m = make(map[string][]VersionSeg)
+			t.applied[toServer] = m
+		}
+		m[toFile] = overlaySegs(m[toFile], s.Ext, s.Ver, false)
+	}
+}
+
+// Corrupt force-stamps a replica's local range with version -1 — the
+// simulator's bit flip. A later read served by this replica returns the
+// corrupted stamp and fails the oracle; max-wins copy semantics keep the
+// corruption from ever propagating to peers.
+func (t *Tracker) Corrupt(server int, file string, e ext.Extent) {
+	if t == nil {
+		return
+	}
+	m := t.applied[server]
+	if m == nil {
+		m = make(map[string][]VersionSeg)
+		t.applied[server] = m
+	}
+	m[file] = overlaySegs(m[file], e, -1, true)
+}
+
+// overlaySegs overlays [e.Off, e.End()) with ver onto a sorted,
+// non-overlapping seg list. force overwrites unconditionally; otherwise
+// the higher version wins per byte.
+func overlaySegs(segs []VersionSeg, e ext.Extent, ver int64, force bool) []VersionSeg {
+	if e.Len <= 0 {
+		return segs
+	}
+	var before, inside, after []VersionSeg
+	for _, s := range segs {
+		if s.Ext.Off < e.Off {
+			l := min(s.Ext.End(), e.Off) - s.Ext.Off
+			before = append(before, VersionSeg{Ext: ext.Extent{Off: s.Ext.Off, Len: l}, Ver: s.Ver})
+		}
+		if s.Ext.End() > e.End() {
+			off := max(s.Ext.Off, e.End())
+			after = append(after, VersionSeg{Ext: ext.Extent{Off: off, Len: s.Ext.End() - off}, Ver: s.Ver})
+		}
+		off := max(s.Ext.Off, e.Off)
+		end := min(s.Ext.End(), e.End())
+		if end > off {
+			v := s.Ver
+			if force || ver > v {
+				v = ver
+			}
+			inside = append(inside, VersionSeg{Ext: ext.Extent{Off: off, Len: end - off}, Ver: v})
+		}
+	}
+	filled := before
+	cur := e.Off
+	for _, s := range inside {
+		if s.Ext.Off > cur {
+			filled = append(filled, VersionSeg{Ext: ext.Extent{Off: cur, Len: s.Ext.Off - cur}, Ver: ver})
+		}
+		filled = append(filled, s)
+		cur = s.Ext.End()
+	}
+	if cur < e.End() {
+		filled = append(filled, VersionSeg{Ext: ext.Extent{Off: cur, Len: e.End() - cur}, Ver: ver})
+	}
+	filled = append(filled, after...)
+	return coalesceSegs(filled)
+}
+
+// coalesceSegs merges adjacent segs with equal versions.
+func coalesceSegs(segs []VersionSeg) []VersionSeg {
+	out := segs[:0]
+	for _, s := range segs {
+		if n := len(out); n > 0 && out[n-1].Ver == s.Ver && out[n-1].Ext.End() == s.Ext.Off {
+			out[n-1].Ext.Len += s.Ext.Len
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -55,6 +55,28 @@ type Config struct {
 	// RetryBackoff is slept before the first reissue and doubles with each
 	// subsequent one (bounded exponential backoff).
 	RetryBackoff time.Duration
+	// Replicas is the number of copies of every stripe (rack-aware chained
+	// placement; see DESIGN §10). 0 or 1 keeps today's unreplicated layout
+	// and its byte-identical event timeline.
+	Replicas int
+	// WriteQuorum is how many replica acknowledgments complete a write.
+	// 0 means majority: Replicas/2 + 1. A crashed replica detected down is
+	// excluded from the quorum denominator so writes keep completing.
+	WriteQuorum int
+	// RackSize is the number of servers per rack; replica ranks are placed
+	// RackSize servers apart so one rack failure cannot take out every copy
+	// of a stripe. 0 means the paper cluster's 3-per-rack.
+	RackSize int
+	// DetectDelay is how long after a crash (or recovery) the cluster-wide
+	// failure detector updates the client view. It models heartbeat lag:
+	// requests issued inside the window are lost and recovered by the
+	// watchdog, not the view.
+	DetectDelay time.Duration
+	// RebuildBandwidth throttles the online rebuild's background copy rate
+	// in bytes/second (0 = 32 MiB/s). RebuildChunkBytes is the copy
+	// granularity (0 = 1 MiB).
+	RebuildBandwidth  int64
+	RebuildChunkBytes int64
 }
 
 // DefaultConfig matches the paper's PVFS2 2.8.2 setup.
@@ -89,6 +111,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pfs: MaxRetries %d", c.MaxRetries)
 	case c.RetryBackoff < 0:
 		return fmt.Errorf("pfs: RetryBackoff %v", c.RetryBackoff)
+	case c.Replicas < 0:
+		return fmt.Errorf("pfs: Replicas %d", c.Replicas)
+	case c.WriteQuorum < 0 || (c.Replicas > 1 && c.WriteQuorum > c.Replicas):
+		return fmt.Errorf("pfs: WriteQuorum %d with %d replicas", c.WriteQuorum, c.Replicas)
+	case c.RackSize < 0:
+		return fmt.Errorf("pfs: RackSize %d", c.RackSize)
+	case c.DetectDelay < 0:
+		return fmt.Errorf("pfs: DetectDelay %v", c.DetectDelay)
+	case c.RebuildBandwidth < 0:
+		return fmt.Errorf("pfs: RebuildBandwidth %d", c.RebuildBandwidth)
+	case c.RebuildChunkBytes < 0:
+		return fmt.Errorf("pfs: RebuildChunkBytes %d", c.RebuildChunkBytes)
 	}
 	return nil
 }
@@ -103,6 +137,19 @@ type FileSystem struct {
 	obs     *obs.Collector
 	faults  *fault.Injector
 	retries int64
+
+	// Replication and crash-tolerance state (see replica.go). offsets maps
+	// replica rank -> server-index offset; down and rebuilding are the
+	// failure detector's view of each server; viewSig broadcasts on every
+	// view change so quorum waiters and failover readers recompute.
+	offsets    []int
+	down       []bool
+	rebuilding []bool
+	viewSig    *sim.Signal
+	ledger     *rebuildLedger
+	tracker    *Tracker
+	verCounter int64
+	failovers  int64
 }
 
 // Server is one data server.
@@ -131,6 +178,7 @@ type serverReq struct {
 	fin     bool
 	rc      obs.Ctx       // originating traced request
 	enq     time.Duration // enqueue time (queue-wait annotation)
+	ver     int64         // integrity-tracker write version (0 = untracked)
 }
 
 // New assembles a file system from per-server stores. serverNodes[i] is the
@@ -142,11 +190,19 @@ func New(k *sim.Kernel, net *netsim.Network, cfg Config, metaNode int, serverNod
 	if len(serverNodes) == 0 || len(serverNodes) != len(stores) {
 		panic("pfs: servers and stores mismatch")
 	}
+	if cfg.Replicas > len(serverNodes) {
+		panic(fmt.Sprintf("pfs: %d replicas on %d servers", cfg.Replicas, len(serverNodes)))
+	}
 	fsys := &FileSystem{
-		k:    k,
-		net:  net,
-		cfg:  cfg,
-		meta: &MetaServer{Node: metaNode, sizes: make(map[string]int64)},
+		k:          k,
+		net:        net,
+		cfg:        cfg,
+		meta:       &MetaServer{Node: metaNode, sizes: make(map[string]int64)},
+		offsets:    replicaOffsets(len(serverNodes), cfg.Replicas, cfg.RackSize),
+		down:       make([]bool, len(serverNodes)),
+		rebuilding: make([]bool, len(serverNodes)),
+		viewSig:    k.NewSignal(),
+		ledger:     newRebuildLedger(len(serverNodes)),
 	}
 	for i, node := range serverNodes {
 		srv := &Server{
@@ -174,11 +230,35 @@ func (fsys *FileSystem) SetObs(c *obs.Collector) { fsys.obs = c }
 
 // SetFaults attaches a fault injector; data servers then honor the
 // schedule's stall and CPU-slowdown windows. A nil injector is a no-op.
-func (fsys *FileSystem) SetFaults(inj *fault.Injector) { fsys.faults = inj }
+// Crash windows additionally arm the failure detector: DetectDelay after
+// each crash or recovery the client view updates, and a recovery kicks off
+// the online rebuild.
+func (fsys *FileSystem) SetFaults(inj *fault.Injector) {
+	fsys.faults = inj
+	if inj.HasCrashWindows() {
+		inj.OnServerState(func(server int, up bool, at time.Duration) {
+			if server < 0 || server >= len(fsys.servers) {
+				return
+			}
+			fsys.k.After(fsys.detectDelay(), func() { fsys.setDown(server, !up) })
+		})
+	}
+}
 
 // Retries reports how many client request reissues the timeout watchdog
 // performed.
 func (fsys *FileSystem) Retries() int64 { return fsys.retries }
+
+// Failovers reports how many read reissues went to a different replica
+// than the previous attempt.
+func (fsys *FileSystem) Failovers() int64 { return fsys.failovers }
+
+// Alive reports the failure detector's view of a data server: false from
+// DetectDelay after a crash until DetectDelay after its recovery. EMC uses
+// it to drop dead servers from the seek medians, CRM to route around them.
+func (fsys *FileSystem) Alive(server int) bool {
+	return server >= 0 && server < len(fsys.down) && !fsys.down[server]
+}
 
 // FileSize reports the size currently recorded at the metadata server (the
 // high-water mark of creates and completed writes; 0 for unknown files).
@@ -215,6 +295,13 @@ func (srv *Server) workerLoop(p *sim.Proc, track string) {
 	for {
 		req := srv.queue.Get(p)
 		start := p.Now()
+		// A crash-stop window voids the in-flight queue: anything enqueued
+		// before or during the crash is dropped unanswered, and missed
+		// writes are noted for the online rebuild.
+		if fsys.faults.CrashedDuring(srv.Index, req.enq, p.Now()) {
+			srv.dropCrashed(req, p.Now())
+			continue
+		}
 		// An active stall window freezes service: the request sits in the
 		// worker until the window closes (the queue keeps filling behind it).
 		if until := fsys.faults.StallUntil(srv.Index, p.Now()); until > p.Now() {
@@ -232,10 +319,21 @@ func (srv *Server) workerLoop(p *sim.Proc, track string) {
 		origin := srv.DiskOrigin(req.origin)
 		if req.write {
 			srv.Store.WriteMulti(p, req.file, req.extents, origin, req.rc)
+		} else {
+			srv.Store.ReadMulti(p, req.file, req.extents, origin, req.rc)
+		}
+		// A crash that struck mid-service died holding the answer: the
+		// write may have reached the platter but no ack leaves the box, so
+		// the replica is treated as having missed it (rebuild re-copies).
+		if fsys.faults.CrashedDuring(srv.Index, start, p.Now()) {
+			srv.dropCrashed(req, p.Now())
+			continue
+		}
+		if req.write {
+			fsys.tracker.apply(srv.Index, req.file, req.extents, req.ver)
 			// Small acknowledgment back to the client.
 			fsys.net.Send(p, srv.Node, req.client, fsys.cfg.HeaderBytes)
 		} else {
-			srv.Store.ReadMulti(p, req.file, req.extents, origin, req.rc)
 			fsys.net.Send(p, srv.Node, req.client, fsys.cfg.HeaderBytes+ext.Total(req.extents))
 		}
 		if req.rc.Traced() {
@@ -251,6 +349,23 @@ func (srv *Server) workerLoop(p *sim.Proc, track string) {
 		req.fin = true
 		req.done.Broadcast()
 	}
+}
+
+// dropCrashed voids a request lost to a crash-stop window: no ack is sent
+// (the client's watchdog recovers), and a voided write is noted in the
+// rebuild ledger so the recovering replica re-copies it from a peer.
+func (srv *Server) dropCrashed(req *serverReq, now time.Duration) {
+	fsys := srv.fsys
+	if req.write {
+		fsys.ledger.add(srv.Index, req.file, req.extents)
+	}
+	rw := "read"
+	if req.write {
+		rw = "write"
+	}
+	fsys.obs.Instant("pfs.lost", fmt.Sprintf("server%d", srv.Index), now,
+		obs.Str("rw", rw), obs.Str("file", req.file),
+		obs.I64("bytes", ext.Total(req.extents)))
 }
 
 // split maps file-global extents to per-server local extent lists.

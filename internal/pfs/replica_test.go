@@ -1,0 +1,246 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dualpar/internal/disk"
+	"dualpar/internal/ext"
+	"dualpar/internal/fs"
+	"dualpar/internal/iosched"
+	"dualpar/internal/netsim"
+	"dualpar/internal/obs"
+	"dualpar/internal/sim"
+)
+
+func TestReplicaOffsetsDistinct(t *testing.T) {
+	cases := []struct{ n, replicas, rack int }{
+		{9, 2, 3}, {9, 3, 3}, {9, 9, 3}, {3, 2, 3}, {3, 3, 3},
+		{4, 2, 4}, {5, 3, 0}, {7, 3, 7},
+	}
+	for _, c := range cases {
+		offs := replicaOffsets(c.n, c.replicas, c.rack)
+		if len(offs) != max(c.replicas, 1) {
+			t.Fatalf("n=%d r=%d rack=%d: %d offsets", c.n, c.replicas, c.rack, len(offs))
+		}
+		seen := map[int]bool{}
+		for _, off := range offs {
+			if off < 0 || off >= c.n {
+				t.Fatalf("n=%d r=%d rack=%d: offset %d out of range", c.n, c.replicas, c.rack, off)
+			}
+			if seen[off] {
+				t.Fatalf("n=%d r=%d rack=%d: offset %d repeated in %v — two ranks on one server", c.n, c.replicas, c.rack, off, offs)
+			}
+			seen[off] = true
+		}
+		if offs[0] != 0 {
+			t.Fatalf("rank 0 offset = %d, want 0 (primary placement must not move)", offs[0])
+		}
+	}
+}
+
+func TestReplicaOffsetsRackStride(t *testing.T) {
+	// With 9 servers and rack size 3, ranks land one rack apart.
+	offs := replicaOffsets(9, 3, 3)
+	want := []int{0, 3, 6}
+	for i, off := range offs {
+		if off != want[i] {
+			t.Fatalf("offsets = %v, want %v", offs, want)
+		}
+	}
+}
+
+func TestReplicaFileRoundTrip(t *testing.T) {
+	for _, name := range []string{"a.dat", "dir#r/b", "x#r2.old"} {
+		for rank := 0; rank < 4; rank++ {
+			base, r := replicaBase(replicaFile(name, rank))
+			if base != name || r != rank {
+				t.Fatalf("replicaBase(replicaFile(%q, %d)) = %q, %d", name, rank, base, r)
+			}
+		}
+	}
+	if got := replicaFile("f", 0); got != "f" {
+		t.Fatalf("rank 0 must keep the plain name, got %q", got)
+	}
+}
+
+func TestWriteQuorumDefaults(t *testing.T) {
+	quorum := func(replicas, cfgQuorum int) int {
+		cfg := DefaultConfig()
+		cfg.Replicas = replicas
+		cfg.WriteQuorum = cfgQuorum
+		fsys := &FileSystem{cfg: cfg}
+		return fsys.writeQuorum()
+	}
+	cases := []struct{ replicas, cfgQuorum, want int }{
+		{1, 0, 1}, {2, 0, 2}, {3, 0, 2}, {4, 0, 3}, {5, 0, 3},
+		{3, 1, 1}, {3, 3, 3},
+		{3, 7, 2}, // over-large configured quorum falls back to majority
+	}
+	for _, c := range cases {
+		if got := quorum(c.replicas, c.cfgQuorum); got != c.want {
+			t.Fatalf("writeQuorum(replicas=%d, cfg=%d) = %d, want %d",
+				c.replicas, c.cfgQuorum, got, c.want)
+		}
+	}
+}
+
+func TestRetryErrorWrapsSentinel(t *testing.T) {
+	err := fmt.Errorf("crm: %w", &RetryError{Op: "write", File: "f.dat", Server: 3})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatal("RetryError does not unwrap to ErrRetriesExhausted through wrapping")
+	}
+	var re *RetryError
+	if !errors.As(err, &re) || re.Server != 3 || re.Op != "write" {
+		t.Fatalf("errors.As lost the typed fields: %+v", re)
+	}
+}
+
+func TestOverlaySegsMaxWins(t *testing.T) {
+	var segs []VersionSeg
+	segs = overlaySegs(segs, ext.Extent{Off: 0, Len: 100}, 5, false)
+	// A stale lower version must not regress stamped bytes.
+	segs = overlaySegs(segs, ext.Extent{Off: 20, Len: 30}, 3, false)
+	if len(segs) != 1 || segs[0].Ver != 5 || segs[0].Ext != (ext.Extent{Off: 0, Len: 100}) {
+		t.Fatalf("lower version regressed stamps: %+v", segs)
+	}
+	// A newer version splits the range.
+	segs = overlaySegs(segs, ext.Extent{Off: 40, Len: 10}, 9, false)
+	want := []VersionSeg{
+		{Ext: ext.Extent{Off: 0, Len: 40}, Ver: 5},
+		{Ext: ext.Extent{Off: 40, Len: 10}, Ver: 9},
+		{Ext: ext.Extent{Off: 50, Len: 50}, Ver: 5},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("segs = %+v, want %+v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segs[%d] = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+	// force overwrites regardless of ordering (the corruption path).
+	segs = overlaySegs(segs, ext.Extent{Off: 0, Len: 100}, -1, true)
+	if len(segs) != 1 || segs[0].Ver != -1 {
+		t.Fatalf("force overlay did not overwrite: %+v", segs)
+	}
+}
+
+func TestOverlaySegsGapFill(t *testing.T) {
+	segs := overlaySegs(nil, ext.Extent{Off: 100, Len: 50}, 2, false)
+	segs = overlaySegs(segs, ext.Extent{Off: 0, Len: 200}, 1, false)
+	want := []VersionSeg{
+		{Ext: ext.Extent{Off: 0, Len: 100}, Ver: 1},
+		{Ext: ext.Extent{Off: 100, Len: 50}, Ver: 2},
+		{Ext: ext.Extent{Off: 150, Len: 50}, Ver: 1},
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segs = %+v, want %+v", segs, want)
+		}
+	}
+}
+
+func TestCoalesceSegsMergesEqualRuns(t *testing.T) {
+	segs := coalesceSegs([]VersionSeg{
+		{Ext: ext.Extent{Off: 0, Len: 10}, Ver: 4},
+		{Ext: ext.Extent{Off: 10, Len: 10}, Ver: 4},
+		{Ext: ext.Extent{Off: 20, Len: 10}, Ver: 5},
+		{Ext: ext.Extent{Off: 40, Len: 10}, Ver: 5}, // gap: must not merge
+	})
+	if len(segs) != 3 || segs[0].Ext.Len != 20 {
+		t.Fatalf("coalesce = %+v", segs)
+	}
+}
+
+// testReplicatedFS is testFS with a replica count.
+func testReplicatedFS(nservers, replicas int) (*sim.Kernel, *FileSystem) {
+	k := sim.NewKernel(1)
+	net := netsim.New(k, netsim.DefaultConfig())
+	var nodes []int
+	var stores []*fs.Store
+	for i := 0; i < nservers; i++ {
+		p := disk.DefaultParams()
+		p.Sectors = 1 << 24
+		st := fs.New(k, fmt.Sprintf("s%d", i), disk.New(p), iosched.NewCFQ(), fs.DefaultConfig(), 10000+i)
+		nodes = append(nodes, 1+i)
+		stores = append(stores, st)
+	}
+	cfg := DefaultConfig()
+	cfg.Replicas = replicas
+	return k, New(k, net, cfg, 0, nodes, stores)
+}
+
+func TestReplicatedWriteStampsEveryReplica(t *testing.T) {
+	k, fsys := testReplicatedFS(3, 2)
+	tr := fsys.EnableIntegrity()
+	cl := fsys.Client(100)
+	unit := fsys.cfg.StripeUnit
+	k.Spawn("writer", func(p *sim.Proc) {
+		cl.Create(p, "f", 3*unit)
+		if err := cl.Write(p, "f", []ext.Extent{{Off: 0, Len: 3 * unit}}, 1, obs.Ctx{}); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	k.RunUntil(time.Minute)
+	// Every stripe's bytes must carry the same stamp on both its replicas.
+	for primary := 0; primary < 3; primary++ {
+		pSrv := fsys.replicaServer(primary, 0).Index
+		rSrv := fsys.replicaServer(primary, 1).Index
+		local := ext.Extent{Off: 0, Len: unit}
+		p0 := tr.query(pSrv, "f", local)
+		p1 := tr.query(rSrv, replicaFile("f", 1), local)
+		if len(p0) != 1 || p0[0].Ver == 0 {
+			t.Fatalf("primary %d (server %d) not stamped: %+v", primary, pSrv, p0)
+		}
+		if len(p1) != 1 || p1[0].Ver != p0[0].Ver {
+			t.Fatalf("replica of primary %d (server %d) = %+v, want ver %d", primary, rSrv, p1, p0[0].Ver)
+		}
+	}
+	exp := tr.Expected("f")
+	if len(exp) != 1 || exp[0].Ext != (ext.Extent{Off: 0, Len: 3 * unit}) || exp[0].Ver == 0 {
+		t.Fatalf("expected content = %+v", exp)
+	}
+}
+
+func TestReadVersionsRoundTrip(t *testing.T) {
+	k, fsys := testReplicatedFS(3, 2)
+	fsys.EnableIntegrity()
+	cl := fsys.Client(100)
+	unit := fsys.cfg.StripeUnit
+	var got []VersionSeg
+	k.Spawn("rw", func(p *sim.Proc) {
+		cl.Create(p, "f", 4*unit)
+		if err := cl.Write(p, "f", []ext.Extent{{Off: unit / 2, Len: 2 * unit}}, 1, obs.Ctx{}); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		var err error
+		got, err = cl.ReadVersions(p, "f", []ext.Extent{{Off: unit / 2, Len: 2 * unit}}, 1)
+		if err != nil {
+			t.Errorf("read versions: %v", err)
+		}
+	})
+	k.RunUntil(time.Minute)
+	var total int64
+	for _, s := range got {
+		if s.Ver == 0 {
+			t.Fatalf("unwritten gap in read-back of a fully written range: %+v", got)
+		}
+		total += s.Ext.Len
+	}
+	if total != 2*unit {
+		t.Fatalf("read back %d bytes of stamps, want %d", total, 2*unit)
+	}
+}
+
+func TestReplicasExceedServersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Replicas > servers must panic at construction")
+		}
+	}()
+	testReplicatedFS(2, 3)
+}
