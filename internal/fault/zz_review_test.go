@@ -1,0 +1,26 @@
+package fault_test
+
+import (
+	"testing"
+	"time"
+
+	"dualpar/internal/core"
+	"dualpar/internal/fault"
+	"dualpar/internal/harness"
+)
+
+// Review probe: replicas=3 (quorum 2 < replicas), crash that recovers.
+// A write acked at quorum before the detector marks the crashed replica
+// down should still be rebuilt after recovery.
+func TestReviewQuorumGapR3(t *testing.T) {
+	sch := &fault.Schedule{Windows: []fault.Window{
+		{Kind: fault.ServerCrash, Target: 1, Start: 300 * time.Millisecond, End: 800 * time.Millisecond},
+	}}
+	_, cl, pr := runCrash(t, sch, 3, core.ModeVanilla)
+	if err := pr.Err(); err != nil {
+		t.Fatalf("replicated run surfaced an I/O error: %v", err)
+	}
+	if err := harness.VerifyIntegrity(cl); err != nil {
+		t.Fatalf("integrity oracle failed: %v", err)
+	}
+}
