@@ -5,10 +5,16 @@
 // Usage:
 //
 //	experiments [-run all|fig1a|fig1b|fig1cd|fig3|fig4|fig5|table2|fig6|fig7|fig8|table3|straggler|...]
-//	            [-quick] [-seed N] [-out DIR] [-q]
+//	            [-quick] [-seed N] [-out DIR] [-q] [-parallel N]
+//
+// Sweeps run across GOMAXPROCS workers by default; -parallel 1 falls back to
+// the serial path. Output tables are byte-identical either way (the sweep
+// engine merges cells in canonical order); only stderr progress-line
+// interleaving differs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -62,13 +68,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	out := flag.String("out", "", "directory for CSV outputs")
 	quiet := flag.Bool("q", false, "suppress progress lines")
+	parallel := flag.Int("parallel", 0, "max concurrent sweep cells (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	var log io.Writer = os.Stderr
 	if *quiet {
 		log = nil
 	}
-	opts := harness.Opts{Quick: *quick, Seed: *seed, Log: log}
+	opts := harness.Opts{Quick: *quick, Seed: *seed, Log: log, Parallel: *parallel}
 
 	var ids []string
 	if *run == "all" {
@@ -88,8 +95,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, id := range ids {
-		res := experiments[id](opts)
+	// Experiments run through the sweep pool (whole experiments are
+	// themselves independent cells); results print afterwards in request
+	// order, so stdout is byte-identical at any parallelism.
+	results := make([]*harness.Result, len(ids))
+	cells := make([]harness.Cell, len(ids))
+	for i, id := range ids {
+		cells[i] = harness.Cell{Key: id, Run: func() { results[i] = experiments[id](opts) }}
+	}
+	if err := harness.RunCells(context.Background(), *parallel, cells); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, res := range results {
 		fmt.Printf("== %s ==\n", res.Title)
 		for _, n := range res.Notes {
 			fmt.Printf("   note: %s\n", n)

@@ -23,7 +23,14 @@ type Trace struct {
 	entries    []Entry
 }
 
-func (t *Trace) add(e Entry) { t.entries = append(t.entries, e) }
+func (t *Trace) add(e Entry) {
+	if t.entries == nil {
+		// Traces routinely collect tens of thousands of entries per run;
+		// start big so steady logging re-grows rarely.
+		t.entries = make([]Entry, 0, 4096)
+	}
+	t.entries = append(t.entries, e)
+}
 
 // Entries returns the full log.
 func (t *Trace) Entries() []Entry { return t.entries }

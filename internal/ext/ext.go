@@ -89,7 +89,9 @@ func MergeWithHoles(xs []Extent, maxHole int64) []Extent {
 			out = append(out, e)
 		}
 	}
-	return append([]Extent(nil), out...)
+	// out aliases cp, which this call owns — returning it directly is safe
+	// and saves re-copying the result on a very hot path.
+	return out
 }
 
 // Holes returns the gaps within merged that are not covered by any extent

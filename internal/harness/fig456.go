@@ -25,6 +25,7 @@ func Fig4(o Opts) *Result {
 		Table: &metrics.Table{Header: []string{"procs", "req_bytes", "vanilla", "collective", "dualpar"}},
 	}
 	res.note("paper: collective and DualPar beat vanilla by up to 24x and 35x; collective's edge shrinks as procs grow; DualPar scales better")
+	o = o.forSweep()
 	procsList := []int{16, 64, 256}
 	total := int64(6 << 20)
 	steps := 2
@@ -32,25 +33,37 @@ func Fig4(o Opts) *Result {
 		procsList = []int{16, 64}
 		total = 2 << 20
 	}
-	for _, procs := range procsList {
+	vals := make([][]string, len(procsList))
+	prefixes := make([][]string, len(procsList))
+	var cells []Cell
+	for pi, procs := range procsList {
+		vals[pi] = make([]string, len(threeSchemes))
 		b := workloads.DefaultBTIO()
 		b.Procs = procs
 		b.TotalBytes = total
 		b.Steps = steps
 		b.StepCompute = 20 * time.Millisecond
-		row := []string{fmt.Sprintf("%d", procs), fmt.Sprintf("%d", b.BlockBytes())}
-		for _, sch := range threeSchemes {
-			specs := make([]runSpec, 3)
-			for i := range specs {
-				inst := b
-				inst.FileName = fmt.Sprintf("btio-%d.dat", i)
-				specs[i] = runSpec{prog: inst, mode: sch.mode}
-			}
-			ms, _ := execute(o.seed(), false, 12*time.Hour, core.DefaultConfig(), specs)
-			row = append(row, mb(aggThroughputMBs(ms)))
-			o.logf("fig4 procs=%d %s: %.2f MB/s", procs, sch.label, aggThroughputMBs(ms))
+		prefixes[pi] = []string{fmt.Sprintf("%d", procs), fmt.Sprintf("%d", b.BlockBytes())}
+		for si, sch := range threeSchemes {
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("fig4/procs=%d/%s", procs, sch.label),
+				Run: func() {
+					specs := make([]runSpec, 3)
+					for i := range specs {
+						inst := b
+						inst.FileName = fmt.Sprintf("btio-%d.dat", i)
+						specs[i] = runSpec{prog: inst, mode: sch.mode}
+					}
+					ms, _ := execute(o.seed(), false, 12*time.Hour, core.DefaultConfig(), specs)
+					vals[pi][si] = mb(aggThroughputMBs(ms))
+					o.logf("fig4 procs=%d %s: %.2f MB/s", procs, sch.label, aggThroughputMBs(ms))
+				},
+			})
 		}
-		res.Table.AddRow(row...)
+	}
+	runSweep(o, cells)
+	for pi := range procsList {
+		res.Table.AddRow(append(prefixes[pi], vals[pi]...)...)
 	}
 	return res
 }
@@ -64,50 +77,61 @@ func Fig5(o Opts) *Result {
 		Table: &metrics.Table{Header: []string{"queries", "vanilla", "collective", "dualpar"}},
 	}
 	res.note("paper: DualPar's I/O times are up to 25%% and on average 17%% below the other schemes (requests are larger, so gains are modest)")
+	o = o.forSweep()
 	queries := []int{16, 24, 32}
 	if o.Quick {
 		queries = []int{16}
 	}
-	for _, q := range queries {
+	vals := make([][]string, len(queries))
+	var cells []Cell
+	for qi, q := range queries {
+		vals[qi] = make([]string, len(threeSchemes))
 		s := workloads.DefaultS3asim()
 		s.Procs = 16
 		s.Queries = q
 		if o.Quick {
 			s.FragmentBytes = 1 << 20
 		}
-		row := []string{fmt.Sprintf("%d", q)}
-		for _, sch := range threeSchemes {
-			mode := sch.mode
-			if mode == core.ModeCollective {
-				// S3asim's per-rank call counts are irregular; its original
-				// implementation uses independent I/O inside collective
-				// phases. Model "collective IO" as list-I/O batching.
-				mode = core.ModeVanilla
-			}
-			specs := make([]runSpec, 3)
-			for i := range specs {
-				inst := s
-				inst.DBName = fmt.Sprintf("s3db-%d.dat", i)
-				inst.OutName = fmt.Sprintf("s3out-%d.dat", i)
-				specs[i] = runSpec{prog: inst, mode: mode}
-				if sch.mode == core.ModeCollective {
-					cfgIO := specs[i].mpiio
-					cfgIO.ListIO = true
-					specs[i].mpiio = cfgIO
-				}
-			}
-			ms, _ := execute(o.seed(), false, 12*time.Hour, core.DefaultConfig(), specs)
-			var io time.Duration
-			var ranks int
-			for _, m := range ms {
-				io += m.ioTime
-				ranks += s.Procs
-			}
-			perRank := io / time.Duration(ranks)
-			row = append(row, secs(perRank))
-			o.logf("fig5 q=%d %s: %.2fs avg I/O per rank", q, sch.label, perRank.Seconds())
+		for si, sch := range threeSchemes {
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("fig5/q=%d/%s", q, sch.label),
+				Run: func() {
+					mode := sch.mode
+					if mode == core.ModeCollective {
+						// S3asim's per-rank call counts are irregular; its original
+						// implementation uses independent I/O inside collective
+						// phases. Model "collective IO" as list-I/O batching.
+						mode = core.ModeVanilla
+					}
+					specs := make([]runSpec, 3)
+					for i := range specs {
+						inst := s
+						inst.DBName = fmt.Sprintf("s3db-%d.dat", i)
+						inst.OutName = fmt.Sprintf("s3out-%d.dat", i)
+						specs[i] = runSpec{prog: inst, mode: mode}
+						if sch.mode == core.ModeCollective {
+							cfgIO := specs[i].mpiio
+							cfgIO.ListIO = true
+							specs[i].mpiio = cfgIO
+						}
+					}
+					ms, _ := execute(o.seed(), false, 12*time.Hour, core.DefaultConfig(), specs)
+					var io time.Duration
+					var ranks int
+					for _, m := range ms {
+						io += m.ioTime
+						ranks += s.Procs
+					}
+					perRank := io / time.Duration(ranks)
+					vals[qi][si] = secs(perRank)
+					o.logf("fig5 q=%d %s: %.2fs avg I/O per rank", q, sch.label, perRank.Seconds())
+				},
+			})
 		}
-		res.Table.AddRow(row...)
+	}
+	runSweep(o, cells)
+	for qi, q := range queries {
+		res.Table.AddRow(append([]string{fmt.Sprintf("%d", q)}, vals[qi]...)...)
 	}
 	return res
 }
@@ -121,17 +145,29 @@ func Table2(o Opts) *Result {
 		Table: &metrics.Table{Header: []string{"rw", "vanilla", "collective", "dualpar"}},
 	}
 	res.note("paper: read 106?/168/284 MB/s; write 54/67/127 MB/s; DualPar cuts the average seek distance by up to 10x")
-	for _, rw := range []struct {
+	o = o.forSweep()
+	rws := []struct {
 		label string
 		write bool
-	}{{"read", false}, {"write", true}} {
-		row := []string{rw.label}
-		for _, sch := range threeSchemes {
-			ms, _ := table2Run(o, rw.write, sch.mode, false)
-			row = append(row, mb(aggThroughputMBs(ms)))
-			o.logf("table2 %s %s: %.1f MB/s", rw.label, sch.label, aggThroughputMBs(ms))
+	}{{"read", false}, {"write", true}}
+	vals := make([][]string, len(rws))
+	var cells []Cell
+	for ri, rw := range rws {
+		vals[ri] = make([]string, len(threeSchemes))
+		for si, sch := range threeSchemes {
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("table2/%s/%s", rw.label, sch.label),
+				Run: func() {
+					ms, _ := table2Run(o, rw.write, sch.mode, false)
+					vals[ri][si] = mb(aggThroughputMBs(ms))
+					o.logf("table2 %s %s: %.1f MB/s", rw.label, sch.label, aggThroughputMBs(ms))
+				},
+			})
 		}
-		res.Table.AddRow(row...)
+	}
+	runSweep(o, cells)
+	for ri, rw := range rws {
+		res.Table.AddRow(append([]string{rw.label}, vals[ri]...)...)
 	}
 	return res
 }
@@ -166,17 +202,37 @@ func Fig6(o Opts) *Result {
 		Table: &metrics.Table{Header: []string{"scheme", "accesses", "monotonicity", "mean_seek_sectors"}},
 	}
 	res.note("paper: vanilla hops between the two files' regions; DualPar reduces average seek distance by up to 10x")
-	for _, sch := range []struct {
+	o = o.forSweep()
+	schemes := []struct {
 		label string
 		mode  core.Mode
-	}{{"vanilla", core.ModeVanilla}, {"dualpar", core.ModeDataDriven}} {
-		ms, _ := table2RunTraced(o, sch.mode, res)
-		_ = ms
+	}{{"vanilla", core.ModeVanilla}, {"dualpar", core.ModeDataDriven}}
+	type out struct {
+		series *metrics.Series
+		row    []string
+	}
+	outs := make([]out, len(schemes))
+	cells := make([]Cell, len(schemes))
+	for i, sch := range schemes {
+		cells[i] = Cell{
+			Key: "fig6/" + sch.label,
+			Run: func() {
+				s, row := table2RunTraced(o, sch.mode)
+				outs[i] = out{series: s, row: row}
+			},
+		}
+	}
+	runSweep(o, cells)
+	for _, out := range outs {
+		res.Series = append(res.Series, out.series)
+		res.Table.AddRow(out.row...)
 	}
 	return res
 }
 
-func table2RunTraced(o Opts, mode core.Mode, res *Result) ([]measured, *cluster.Cluster) {
+// table2RunTraced runs the traced two-instance scenario under one scheme
+// and returns the LBN series plus the table row for it.
+func table2RunTraced(o Opts, mode core.Mode) (*metrics.Series, []string) {
 	size := int64(96 << 20)
 	if o.Quick {
 		size = 16 << 20
@@ -215,11 +271,10 @@ func table2RunTraced(o Opts, mode core.Mode, res *Result) ([]measured, *cluster.
 	for _, e := range entries {
 		s.Add(e.At, float64(e.LBN))
 	}
-	res.Series = append(res.Series, s)
-	res.Table.AddRow(label,
+	row := []string{label,
 		fmt.Sprintf("%d", len(entries)),
 		fmt.Sprintf("%.2f", diskMonotonicity(entries)),
-		fmt.Sprintf("%.0f", diskMeanSeek(entries)))
+		fmt.Sprintf("%.0f", diskMeanSeek(entries))}
 	o.logf("fig6 %s: %d accesses, mean seek %.0f sectors", label, len(entries), diskMeanSeek(entries))
-	return ms, cl
+	return s, row
 }

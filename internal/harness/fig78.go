@@ -21,6 +21,7 @@ func Fig7(o Opts) *Result {
 		Table: &metrics.Table{Header: []string{"scheme", "before_join_MB/s", "after_join_MB/s", "after_seek_sectors", "switched"}},
 	}
 	res.note("paper: alone ~178 MB/s in both; after hpio joins, vanilla drops from interference while DualPar recovers +46%% and seeks shrink")
+	o = o.forSweep()
 
 	size := int64(192 << 20)
 	hpioRegions := int64(3072)
@@ -28,75 +29,88 @@ func Fig7(o Opts) *Result {
 		size = 32 << 20
 		hpioRegions = 512
 	}
-	for _, sch := range []struct {
+	schemes := []struct {
 		label string
 		mode  core.Mode
-	}{{"vanilla", core.ModeVanilla}, {"dualpar", core.ModeDualPar}} {
-		m := workloads.DefaultMPIIOTest()
-		m.FileBytes = size
-		m.FileName = "fig7-mpiio.dat"
-		m.BarrierEvery = 8 // mpi-io-test syncs, but not so often that the scaled run stops being I/O bound
-		h := workloads.DefaultHPIO()
-		h.RegionCount = hpioRegions
-		h.FileName = "fig7-hpio.dat"
+	}{{"vanilla", core.ModeVanilla}, {"dualpar", core.ModeDualPar}}
+	type out struct {
+		tp, seek *metrics.Series
+		row      []string
+	}
+	outs := make([]out, len(schemes))
+	cells := make([]Cell, len(schemes))
+	for ci, sch := range schemes {
+		cells[ci] = Cell{Key: "fig7/" + sch.label, Run: func() {
+			m := workloads.DefaultMPIIOTest()
+			m.FileBytes = size
+			m.FileName = "fig7-mpiio.dat"
+			m.BarrierEvery = 8 // mpi-io-test syncs, but not so often that the scaled run stops being I/O bound
+			h := workloads.DefaultHPIO()
+			h.RegionCount = hpioRegions
+			h.FileName = "fig7-hpio.dat"
 
-		// Estimate the join time as ~40% of the solo run; the paper joins
-		// at the 50th second of a ~150 s run. The EMC slot scales with the
-		// run so the scaled-down experiment samples as often, relatively,
-		// as the paper's 1 s slot did in its ~150 s run.
-		soloEstimate := estimateSolo(o, m)
-		joinAt := soloEstimate * 2 / 5
-		cl := paperCluster(o.seed(), false)
-		ddCfg := core.DefaultConfig()
-		// Slots must be long enough that the seek/request statistics carry
-		// a meaningful sample count (the paper's 1 s slot on a ~150 s run).
-		ddCfg.SlotEvery = soloEstimate / 8
-		if ddCfg.SlotEvery < 100*time.Millisecond {
-			ddCfg.SlotEvery = 100 * time.Millisecond
-		}
-		if ddCfg.SlotEvery > time.Second {
-			ddCfg.SlotEvery = time.Second
-		}
-		r := core.NewRunner(cl, ddCfg)
-		p1 := r.Add(m, sch.mode, core.AddOptions{RanksPerNode: 8})
-		p2 := r.Add(h, sch.mode, core.AddOptions{RanksPerNode: 8, StartAt: joinAt})
-
-		// Throughput and seek-distance series sampled during the run.
-		window := soloEstimate / 40
-		if window < 50*time.Millisecond {
-			window = 50 * time.Millisecond
-		}
-		until := soloEstimate * 4
-		var lastBytes int64
-		tp := metrics.Sample(cl.K, "throughput-"+sch.label, window, until, func() float64 {
-			s := cl.ServerStats()
-			cur := s.BytesRead + s.BytesWritten
-			d := cur - lastBytes
-			lastBytes = cur
-			return float64(d) / (1 << 20) / window.Seconds()
-		})
-		var lastSeek, lastAcc int64
-		seek := metrics.Sample(cl.K, "seekdist-"+sch.label, window, until, func() float64 {
-			s := cl.ServerStats()
-			dSeek, dAcc := s.SeekSectors-lastSeek, s.Accesses-lastAcc
-			lastSeek, lastAcc = s.SeekSectors, s.Accesses
-			if dAcc == 0 {
-				return 0
+			// Estimate the join time as ~40% of the solo run; the paper joins
+			// at the 50th second of a ~150 s run. The EMC slot scales with the
+			// run so the scaled-down experiment samples as often, relatively,
+			// as the paper's 1 s slot did in its ~150 s run.
+			soloEstimate := estimateSolo(o, m)
+			joinAt := soloEstimate * 2 / 5
+			cl := paperCluster(o.seed(), false)
+			ddCfg := core.DefaultConfig()
+			// Slots must be long enough that the seek/request statistics carry
+			// a meaningful sample count (the paper's 1 s slot on a ~150 s run).
+			ddCfg.SlotEvery = soloEstimate / 8
+			if ddCfg.SlotEvery < 100*time.Millisecond {
+				ddCfg.SlotEvery = 100 * time.Millisecond
 			}
-			return float64(dSeek) / float64(dAcc)
-		})
-		r.Run(12 * time.Hour)
+			if ddCfg.SlotEvery > time.Second {
+				ddCfg.SlotEvery = time.Second
+			}
+			r := core.NewRunner(cl, ddCfg)
+			p1 := r.Add(m, sch.mode, core.AddOptions{RanksPerNode: 8})
+			p2 := r.Add(h, sch.mode, core.AddOptions{RanksPerNode: 8, StartAt: joinAt})
 
-		end1 := p1.EndedAt
-		before := tp.Window(0, joinAt)
-		after := tp.Window(joinAt, end1)
-		seekAfter := seek.Window(joinAt, end1)
-		switched := len(p1.ModeSwitches)+len(p2.ModeSwitches) > 0
-		res.Series = append(res.Series, tp, seek)
-		res.Table.AddRow(sch.label, mb(before), mb(after),
-			fmt.Sprintf("%.0f", seekAfter), fmt.Sprintf("%v", switched))
-		o.logf("fig7 %s: before=%.1f after=%.1f MB/s, seek=%.0f, switches p1=%d p2=%d (join at %.1fs)",
-			sch.label, before, after, seekAfter, len(p1.ModeSwitches), len(p2.ModeSwitches), joinAt.Seconds())
+			// Throughput and seek-distance series sampled during the run.
+			window := soloEstimate / 40
+			if window < 50*time.Millisecond {
+				window = 50 * time.Millisecond
+			}
+			until := soloEstimate * 4
+			var lastBytes int64
+			tp := metrics.Sample(cl.K, "throughput-"+sch.label, window, until, func() float64 {
+				s := cl.ServerStats()
+				cur := s.BytesRead + s.BytesWritten
+				d := cur - lastBytes
+				lastBytes = cur
+				return float64(d) / (1 << 20) / window.Seconds()
+			})
+			var lastSeek, lastAcc int64
+			seek := metrics.Sample(cl.K, "seekdist-"+sch.label, window, until, func() float64 {
+				s := cl.ServerStats()
+				dSeek, dAcc := s.SeekSectors-lastSeek, s.Accesses-lastAcc
+				lastSeek, lastAcc = s.SeekSectors, s.Accesses
+				if dAcc == 0 {
+					return 0
+				}
+				return float64(dSeek) / float64(dAcc)
+			})
+			r.Run(12 * time.Hour)
+
+			end1 := p1.EndedAt
+			before := tp.Window(0, joinAt)
+			after := tp.Window(joinAt, end1)
+			seekAfter := seek.Window(joinAt, end1)
+			switched := len(p1.ModeSwitches)+len(p2.ModeSwitches) > 0
+			outs[ci] = out{tp: tp, seek: seek, row: []string{sch.label, mb(before), mb(after),
+				fmt.Sprintf("%.0f", seekAfter), fmt.Sprintf("%v", switched)}}
+			o.logf("fig7 %s: before=%.1f after=%.1f MB/s, seek=%.0f, switches p1=%d p2=%d (join at %.1fs)",
+				sch.label, before, after, seekAfter, len(p1.ModeSwitches), len(p2.ModeSwitches), joinAt.Seconds())
+		}}
+	}
+	runSweep(o, cells)
+	for _, out := range outs {
+		res.Series = append(res.Series, out.tp, out.seek)
+		res.Table.AddRow(out.row...)
 	}
 	return res
 }
@@ -118,6 +132,7 @@ func Fig8(o Opts) *Result {
 		Table: &metrics.Table{Header: []string{"cache_kb", "throughput_MBs"}},
 	}
 	res.note("paper: 0 KB equals vanilla (~2.7 MB/s); 64 KB is ~43x better; returns diminish beyond a few hundred KB")
+	o = o.forSweep()
 	b := workloads.DefaultBTIO()
 	b.TotalBytes = 8 << 20
 	b.Steps = 2
@@ -127,18 +142,29 @@ func Fig8(o Opts) *Result {
 		b.TotalBytes = 2 << 20
 		sizes = []int64{0, 64 << 10, 1 << 20}
 	}
-	for _, cacheB := range sizes {
-		cfg := core.DefaultConfig()
-		mode := core.ModeDataDriven
-		if cacheB == 0 {
-			mode = core.ModeVanilla // zero quota disables DualPar entirely
-		} else {
-			cfg.CacheQuotaBytes = cacheB
+	vals := make([]string, len(sizes))
+	cells := make([]Cell, len(sizes))
+	for i, cacheB := range sizes {
+		cells[i] = Cell{
+			Key: fmt.Sprintf("fig8/cache=%dKB", cacheB>>10),
+			Run: func() {
+				cfg := core.DefaultConfig()
+				mode := core.ModeDataDriven
+				if cacheB == 0 {
+					mode = core.ModeVanilla // zero quota disables DualPar entirely
+				} else {
+					cfg.CacheQuotaBytes = cacheB
+				}
+				ms, _ := execute(o.seed(), false, 12*time.Hour, cfg,
+					[]runSpec{{prog: b, mode: mode}})
+				vals[i] = mb(ms[0].throughputMBs())
+				o.logf("fig8 cache=%dKB: %.2f MB/s", cacheB>>10, ms[0].throughputMBs())
+			},
 		}
-		ms, _ := execute(o.seed(), false, 12*time.Hour, cfg,
-			[]runSpec{{prog: b, mode: mode}})
-		res.Table.AddRow(fmt.Sprintf("%d", cacheB>>10), mb(ms[0].throughputMBs()))
-		o.logf("fig8 cache=%dKB: %.2f MB/s", cacheB>>10, ms[0].throughputMBs())
+	}
+	runSweep(o, cells)
+	for i, cacheB := range sizes {
+		res.Table.AddRow(fmt.Sprintf("%d", cacheB>>10), vals[i])
 	}
 	return res
 }
@@ -157,6 +183,7 @@ func Table3(o Opts) *Result {
 	// The paper reads 2 GB with data-dependent addresses; the wasted
 	// prefetching is a fixed few-cycle cost, so the baseline volume must be
 	// kept at paper scale for the overhead percentage to be comparable.
+	o = o.forSweep()
 	d := workloads.DefaultDependentReader()
 	d.Procs = 16
 	d.FileBytes = 2 << 30
@@ -165,32 +192,65 @@ func Table3(o Opts) *Result {
 		d.Procs = 8
 		d.CallsPerRank = 512 // keep the baseline volume large relative to the fixed few-cycle waste
 	}
-	base, _ := execute(o.seed(), false, 12*time.Hour, core.DefaultConfig(),
-		[]runSpec{{prog: d, mode: core.ModeVanilla}})
 	caches := []int64{1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20}
 	if o.Quick {
 		caches = []int64{1 << 20, 4 << 20}
 	}
-	for _, cacheB := range caches {
-		cfg := core.DefaultConfig()
-		cfg.CacheQuotaBytes = cacheB
-		cfg.SlotEvery = 250 * time.Millisecond
-		ms, _ := execute(o.seed(), false, 12*time.Hour, cfg,
-			[]runSpec{{prog: d, mode: core.ModeDataDriven}})
-		overhead := (ms[0].elapsed.Seconds() - base[0].elapsed.Seconds()) / base[0].elapsed.Seconds() * 100
-		res.Table.AddRow(fmt.Sprintf("%d", cacheB>>20), secs(base[0].elapsed), secs(ms[0].elapsed),
+	// Cell 0 is the vanilla baseline; the per-cache overheads against it are
+	// computed at assembly, after every cell has finished.
+	var base time.Duration
+	elapsed := make([]time.Duration, len(caches))
+	cells := []Cell{{
+		Key: "table3/base",
+		Run: func() {
+			ms, _ := execute(o.seed(), false, 12*time.Hour, core.DefaultConfig(),
+				[]runSpec{{prog: d, mode: core.ModeVanilla}})
+			base = ms[0].elapsed
+		},
+	}}
+	for i, cacheB := range caches {
+		cells = append(cells, Cell{
+			Key: fmt.Sprintf("table3/cache=%dMB", cacheB>>20),
+			Run: func() {
+				cfg := core.DefaultConfig()
+				cfg.CacheQuotaBytes = cacheB
+				cfg.SlotEvery = 250 * time.Millisecond
+				ms, _ := execute(o.seed(), false, 12*time.Hour, cfg,
+					[]runSpec{{prog: d, mode: core.ModeDataDriven}})
+				elapsed[i] = ms[0].elapsed
+			},
+		})
+	}
+	runSweep(o, cells)
+	for i, cacheB := range caches {
+		overhead := (elapsed[i].Seconds() - base.Seconds()) / base.Seconds() * 100
+		res.Table.AddRow(fmt.Sprintf("%d", cacheB>>20), secs(base), secs(elapsed[i]),
 			fmt.Sprintf("%.1f", overhead))
 		o.logf("table3 cache=%dMB: base=%.2fs dualpar=%.2fs (%.1f%%)",
-			cacheB>>20, base[0].elapsed.Seconds(), ms[0].elapsed.Seconds(), overhead)
+			cacheB>>20, base.Seconds(), elapsed[i].Seconds(), overhead)
 	}
 	return res
 }
 
-// All runs every experiment in paper order.
+// All runs every experiment in paper order. Under Opts.Parallel != 1 the
+// experiments themselves run concurrently (each also parallelizes its own
+// cells); the returned slice is always in paper order with tables
+// byte-identical to a serial run.
 func All(o Opts) []*Result {
-	return []*Result{
-		Fig1a(o), Fig1b(o), Fig1cd(o),
-		Fig3(o), Fig4(o), Fig5(o),
-		Table2(o), Fig6(o), Fig7(o), Fig8(o), Table3(o),
+	o = o.forSweep()
+	drivers := []struct {
+		name string
+		fn   func(Opts) *Result
+	}{
+		{"fig1a", Fig1a}, {"fig1b", Fig1b}, {"fig1cd", Fig1cd},
+		{"fig3", Fig3}, {"fig4", Fig4}, {"fig5", Fig5},
+		{"table2", Table2}, {"fig6", Fig6}, {"fig7", Fig7}, {"fig8", Fig8}, {"table3", Table3},
 	}
+	out := make([]*Result, len(drivers))
+	cells := make([]Cell, len(drivers))
+	for i, d := range drivers {
+		cells[i] = Cell{Key: "all/" + d.name, Run: func() { out[i] = d.fn(o) }}
+	}
+	runSweep(o, cells)
+	return out
 }

@@ -7,8 +7,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"dualpar/internal/cluster"
@@ -27,6 +29,13 @@ type Opts struct {
 	Log io.Writer
 	// Seed for the simulation; runs are deterministic per seed.
 	Seed int64
+	// Parallel caps how many sweep cells run concurrently: 0 means
+	// GOMAXPROCS, 1 reproduces the serial path exactly. Result tables are
+	// byte-identical at every setting (see pool.go); only progress-log
+	// interleaving differs.
+	Parallel int
+	// Ctx cancels a long sweep mid-flight (nil = never).
+	Ctx context.Context
 }
 
 func (o Opts) seed() int64 {
@@ -34,6 +43,13 @@ func (o Opts) seed() int64 {
 		return 1
 	}
 	return o.Seed
+}
+
+func (o Opts) parallel() int {
+	if o.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
 }
 
 func (o Opts) logf(format string, args ...interface{}) {

@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCellsWorkerCounts runs the same cell set at worker counts below,
+// at, and above the cell count (plus 0 = GOMAXPROCS) and checks every slot
+// is filled exactly once.
+func TestRunCellsWorkerCounts(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 7, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 7
+			hits := make([]int32, n)
+			cells := make([]Cell, n)
+			for i := range cells {
+				cells[i] = Cell{
+					Key: fmt.Sprintf("cell%d", i),
+					Run: func() { atomic.AddInt32(&hits[i], 1) },
+				}
+			}
+			if err := RunCells(context.Background(), workers, cells); err != nil {
+				t.Fatalf("RunCells: %v", err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Errorf("cell %d ran %d times, want 1", i, h)
+				}
+			}
+		})
+	}
+}
+
+// TestRunCellsSerialOrder: workers == 1 must run cells in slice order on
+// the calling goroutine — that is the documented serial path.
+func TestRunCellsSerialOrder(t *testing.T) {
+	var order []int
+	cells := make([]Cell, 5)
+	for i := range cells {
+		cells[i] = Cell{Key: fmt.Sprintf("c%d", i), Run: func() { order = append(order, i) }}
+	}
+	if err := RunCells(context.Background(), 1, cells); err != nil {
+		t.Fatalf("RunCells: %v", err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order %v, want ascending", order)
+		}
+	}
+}
+
+// TestRunCellsEmpty: no cells is a no-op at any worker count.
+func TestRunCellsEmpty(t *testing.T) {
+	if err := RunCells(context.Background(), 4, nil); err != nil {
+		t.Fatalf("RunCells(nil cells): %v", err)
+	}
+}
+
+// TestRunCellsCancelMidSweep cancels the context from inside an early cell
+// and checks that no further cell starts and ctx.Err() comes back.
+func TestRunCellsCancelMidSweep(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			const n = 32
+			var ran int32
+			cells := make([]Cell, n)
+			for i := range cells {
+				cells[i] = Cell{
+					Key: fmt.Sprintf("c%d", i),
+					Run: func() {
+						atomic.AddInt32(&ran, 1)
+						if i == 2 {
+							cancel()
+						}
+					},
+				}
+			}
+			err := RunCells(ctx, workers, cells)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			// In-flight cells may finish, but dispatch stops: far fewer
+			// than n cells run (at most the cancel point + workers).
+			if got := atomic.LoadInt32(&ran); int(got) > 3+workers {
+				t.Errorf("%d cells ran after cancel, want <= %d", got, 3+workers)
+			}
+		})
+	}
+}
+
+// TestRunCellsCanceledBeforeStart: an already-canceled context runs
+// nothing.
+func TestRunCellsCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	cells := []Cell{{Key: "c0", Run: func() { atomic.AddInt32(&ran, 1) }}}
+	if err := RunCells(ctx, 4, cells); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d cells ran under a pre-canceled context", ran)
+	}
+}
+
+// TestRunCellsPanic: a panicking cell surfaces as a *CellError naming the
+// cell, the other cells still complete, and with several failures the
+// canonically-first cell's error is the one returned regardless of worker
+// scheduling.
+func TestRunCellsPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 8
+			var ran int32
+			cells := make([]Cell, n)
+			for i := range cells {
+				cells[i] = Cell{
+					Key: fmt.Sprintf("cell/%d", i),
+					Run: func() {
+						atomic.AddInt32(&ran, 1)
+						if i == 3 || i == 6 {
+							panic(fmt.Sprintf("boom %d", i))
+						}
+					},
+				}
+			}
+			err := RunCells(context.Background(), workers, cells)
+			var ce *CellError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err = %v (%T), want *CellError", err, err)
+			}
+			if ce.Key != "cell/3" {
+				t.Errorf("reported cell %q, want canonical first failure cell/3", ce.Key)
+			}
+			if ce.Value != "boom 3" {
+				t.Errorf("panic value %v, want boom 3", ce.Value)
+			}
+			if len(ce.Stack) == 0 {
+				t.Error("CellError carries no stack")
+			}
+			if !strings.Contains(ce.Error(), "cell/3") {
+				t.Errorf("Error() = %q, want the cell key in it", ce.Error())
+			}
+			if got := atomic.LoadInt32(&ran); got != n {
+				t.Errorf("%d cells ran, want all %d despite the panics", got, n)
+			}
+		})
+	}
+}
+
+// TestSyncWriterSharedLog is the regression test for the shared-Opts.Log
+// race: concurrent cells logging through one bytes.Buffer. Run under -race
+// this fails without forSweep's syncWriter wrapping.
+func TestSyncWriterSharedLog(t *testing.T) {
+	var buf bytes.Buffer
+	o := Opts{Log: &buf, Parallel: 4}.forSweep()
+	cells := make([]Cell, 16)
+	for i := range cells {
+		cells[i] = Cell{
+			Key: fmt.Sprintf("c%d", i),
+			Run: func() { o.logf("line from cell %d", i) },
+		}
+	}
+	if err := RunCells(context.Background(), 4, cells); err != nil {
+		t.Fatalf("RunCells: %v", err)
+	}
+	if got := strings.Count(buf.String(), "line from cell"); got != len(cells) {
+		t.Errorf("log has %d lines, want %d", got, len(cells))
+	}
+}
+
+// TestForSweepIdempotent: wrapping twice must not stack a second lock.
+func TestForSweepIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	once := Opts{Log: &buf}.forSweep()
+	twice := once.forSweep()
+	if once.Log != twice.Log {
+		t.Error("forSweep re-wrapped an already-synchronized writer")
+	}
+	if o := (Opts{}).forSweep(); o.Log != nil {
+		t.Error("forSweep invented a writer for nil Log")
+	}
+}
+
+// TestRunCellsConcurrentSlotWrites: cells writing distinct slots of one
+// slice need no locking — this is the pool's core contract, and under
+// -race it verifies the WaitGroup edge publishes every slot to the caller.
+func TestRunCellsConcurrentSlotWrites(t *testing.T) {
+	const n = 64
+	out := make([]int, n)
+	var mu sync.Mutex // touched only to give the race detector work to check
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = Cell{Key: fmt.Sprintf("c%d", i), Run: func() {
+			mu.Lock()
+			mu.Unlock()
+			out[i] = i + 1
+		}}
+	}
+	if err := RunCells(context.Background(), 8, cells); err != nil {
+		t.Fatalf("RunCells: %v", err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("slot %d = %d, want %d", i, v, i+1)
+		}
+	}
+}

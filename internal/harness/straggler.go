@@ -39,6 +39,7 @@ func Straggler(o Opts) *Result {
 		Table: &metrics.Table{Header: []string{
 			"severity", "vanilla_s", "vanilla_slowdown", "dualpar_s", "dualpar_slowdown"}},
 	}
+	o = o.forSweep()
 	severities := []float64{1, 2, 5, 10}
 	if o.Quick {
 		severities = []float64{1, 10}
@@ -46,27 +47,52 @@ func Straggler(o Opts) *Result {
 	prog := stragglerProg(o.Quick)
 	res.note("one server's disk degraded for the whole run; fault layer + retry watchdogs on in every cell (severity 1 = healthy baseline)")
 
-	elapsed := func(sev float64, mode core.Mode) time.Duration {
-		sch := &fault.Schedule{}
-		if sev > 1 {
-			sch.Windows = []fault.Window{
-				{Kind: fault.DiskSlow, Target: 1, Factor: sev},
-			}
-		}
-		ms, _ := executeFaults(o.seed(), time.Hour, core.DefaultConfig(), sch,
-			[]runSpec{{prog: prog, mode: mode}})
-		if !ms[0].finished {
-			res.note("severity %gx/%v DID NOT FINISH within the time budget", sev, mode)
-			return 0
-		}
-		return ms[0].elapsed
+	// One cell per (severity, mode); DNF notes are collected per cell and
+	// appended in canonical order after the sweep.
+	type cellOut struct {
+		elapsed time.Duration
+		note    string
 	}
-
+	modes := []struct {
+		label string
+		mode  core.Mode
+	}{{"vanilla", core.ModeVanilla}, {"dualpar", core.ModeDataDriven}}
+	outs := make([]cellOut, len(severities)*len(modes))
+	var cells []Cell
+	for si, sev := range severities {
+		for mi, m := range modes {
+			slot := &outs[si*len(modes)+mi]
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("straggler/%gx/%s", sev, m.label),
+				Run: func() {
+					o.logf("straggler: severity %gx %s", sev, m.label)
+					sch := &fault.Schedule{}
+					if sev > 1 {
+						sch.Windows = []fault.Window{
+							{Kind: fault.DiskSlow, Target: 1, Factor: sev},
+						}
+					}
+					ms, _ := executeFaults(o.seed(), time.Hour, core.DefaultConfig(), sch,
+						[]runSpec{{prog: prog, mode: m.mode}})
+					if !ms[0].finished {
+						slot.note = fmt.Sprintf("severity %gx/%v DID NOT FINISH within the time budget", sev, m.mode)
+						return
+					}
+					slot.elapsed = ms[0].elapsed
+				},
+			})
+		}
+	}
+	runSweep(o, cells)
+	for _, out := range outs {
+		if out.note != "" {
+			res.note("%s", out.note)
+		}
+	}
 	var vanBase, ddBase time.Duration
-	for _, sev := range severities {
-		o.logf("straggler: severity %gx", sev)
-		van := elapsed(sev, core.ModeVanilla)
-		dd := elapsed(sev, core.ModeDataDriven)
+	for si, sev := range severities {
+		van := outs[si*len(modes)].elapsed
+		dd := outs[si*len(modes)+1].elapsed
 		if sev == 1 {
 			vanBase, ddBase = van, dd
 		}

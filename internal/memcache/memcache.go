@@ -179,7 +179,7 @@ func (c *Cache) chunkRel(e ext.Extent) []struct {
 func (c *Cache) Get(p *sim.Proc, fromNode int, file string, extents ...ext.Extent) (miss []ext.Extent) {
 	c.statGets++
 	now := p.Now()
-	perHome := make(map[int]int64) // hit bytes by home node
+	var perHome homeBytes // hit bytes by home node
 	for _, e := range extents {
 		for _, cr := range c.chunkRel(e) {
 			key := chunkKey{file, cr.idx}
@@ -202,7 +202,7 @@ func (c *Cache) Get(p *sim.Proc, fromNode int, file string, extents ...ext.Exten
 				miss = append(miss, ext.Extent{Off: base + cr.rel.Off, Len: cr.rel.Len})
 				continue
 			}
-			perHome[c.Home(cr.idx)] += hitB
+			perHome = perHome.add(c.Home(cr.idx), hitB)
 		}
 	}
 	c.chargeTransfers(p, fromNode, perHome, false)
@@ -218,23 +218,47 @@ func (c *Cache) Get(p *sim.Proc, fromNode int, file string, extents ...ext.Exten
 	return miss
 }
 
+// homeBytes accumulates per-home-node byte counts for one batched
+// operation. The fan-out of a single Get/put is a handful of nodes, so a
+// slice kept sorted by insertion beats a map plus a key sort on the hot
+// path — and node order stays deterministic for free. It must be local to
+// one call: Procs yield inside chargeTransfers, so a shared scratch buffer
+// would be clobbered by a concurrent simulated operation.
+type homeBytes []homeAcc
+
+type homeAcc struct {
+	node  int
+	bytes int64
+}
+
+// add accumulates b bytes against node, keeping the slice sorted by node.
+func (hb homeBytes) add(node int, b int64) homeBytes {
+	i := len(hb)
+	for i > 0 && hb[i-1].node >= node {
+		if hb[i-1].node == node {
+			hb[i-1].bytes += b
+			return hb
+		}
+		i--
+	}
+	hb = append(hb, homeAcc{})
+	copy(hb[i+1:], hb[i:])
+	hb[i] = homeAcc{node: node, bytes: b}
+	return hb
+}
+
 // chargeTransfers pays one memcached operation per involved home node and
 // one wire transfer per remote home, in node order (deterministic).
-func (c *Cache) chargeTransfers(p *sim.Proc, fromNode int, perHome map[int]int64, toHome bool) {
-	homes := make([]int, 0, len(perHome))
-	for h := range perHome {
-		homes = append(homes, h)
-	}
-	sort.Ints(homes)
-	for _, h := range homes {
+func (c *Cache) chargeTransfers(p *sim.Proc, fromNode int, perHome homeBytes, toHome bool) {
+	for _, h := range perHome {
 		p.Sleep(c.cfg.OpCPU)
-		if h == fromNode {
+		if h.node == fromNode {
 			continue
 		}
 		if toHome {
-			c.net.Send(p, fromNode, h, perHome[h]+64)
+			c.net.Send(p, fromNode, h.node, h.bytes+64)
 		} else {
-			c.net.Send(p, h, fromNode, perHome[h]+64)
+			c.net.Send(p, h.node, fromNode, h.bytes+64)
 		}
 	}
 }
@@ -254,7 +278,7 @@ func (c *Cache) PutDirty(p *sim.Proc, fromNode int, file string, extents []ext.E
 
 func (c *Cache) put(p *sim.Proc, fromNode int, file string, extents []ext.Extent, dirty bool) {
 	now := p.Now()
-	perHome := make(map[int]int64) // bytes shipped to each home node
+	var perHome homeBytes // bytes shipped to each home node
 	for _, e := range extents {
 		for _, cr := range c.chunkRel(e) {
 			key := chunkKey{file, cr.idx}
@@ -270,7 +294,7 @@ func (c *Cache) put(p *sim.Proc, fromNode int, file string, extents []ext.Extent
 				ch.dirty = ext.Merge(append(ch.dirty, cr.rel))
 			}
 			ch.lastRef = now
-			perHome[c.Home(cr.idx)] += cr.rel.Len
+			perHome = perHome.add(c.Home(cr.idx), cr.rel.Len)
 		}
 	}
 	c.chargeTransfers(p, fromNode, perHome, true)

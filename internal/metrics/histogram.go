@@ -117,6 +117,29 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
+// Merge folds other's observations into h, bucket by bucket, preserving
+// the exact count, sum, and extremes — merging per-cell histograms after a
+// parallel sweep yields the same statistics as observing every value into
+// one histogram (buckets are exact; only Percentile interpolation was ever
+// approximate). A nil or empty other is a no-op; merging into a nil
+// receiver is a no-op (disabled instrumentation).
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil || other.count == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.count == 0 || other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
 // Percentile estimates the p-th percentile (p in [0, 100]) by linear
 // interpolation within the containing bucket, clamped to the exact observed
 // [min, max]. Empty histograms report 0.

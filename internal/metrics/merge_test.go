@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramMergeEqualsCombinedObserve: merging shard histograms must
+// reproduce exactly what one histogram observing every value would hold —
+// the property the parallel sweep relies on when per-cell statistics are
+// folded together.
+func TestHistogramMergeEqualsCombinedObserve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shards := make([]*Histogram, 4)
+	for i := range shards {
+		shards[i] = NewHistogram("shard")
+	}
+	whole := NewHistogram("whole")
+	for i := 0; i < 10000; i++ {
+		v := rng.ExpFloat64() * 1e-3 // latency-like spread across buckets
+		shards[i%len(shards)].Observe(v)
+		whole.Observe(v)
+	}
+	merged := NewHistogram("merged")
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != whole.Count() {
+		t.Errorf("count %d, want %d", merged.Count(), whole.Count())
+	}
+	if merged.Sum() != whole.Sum() {
+		// Same values added in a different order; float sums can differ in
+		// the last ulp, but these are all positive and modest — require
+		// near-exact agreement.
+		if d := merged.Sum() - whole.Sum(); d > 1e-9 || d < -1e-9 {
+			t.Errorf("sum %g, want %g", merged.Sum(), whole.Sum())
+		}
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Errorf("range [%g, %g], want [%g, %g]", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if got, want := merged.Percentile(p), whole.Percentile(p); got != want {
+			t.Errorf("p%.0f = %g, want %g (buckets should match exactly)", p, got, want)
+		}
+	}
+}
+
+// TestHistogramMergeEdgeCases: empty/nil operands and extreme tracking
+// when one side is empty.
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	a := NewHistogram("a")
+	a.Merge(nil)              // no-op
+	a.Merge(NewHistogram("")) // empty: no-op
+	if a.Count() != 0 {
+		t.Fatalf("count %d after no-op merges, want 0", a.Count())
+	}
+
+	b := NewHistogram("b")
+	b.Observe(3)
+	a.Merge(b) // into empty: adopts b's extremes
+	if a.Count() != 1 || a.Min() != 3 || a.Max() != 3 {
+		t.Errorf("after merge into empty: count=%d min=%g max=%g, want 1/3/3", a.Count(), a.Min(), a.Max())
+	}
+
+	var nilH *Histogram
+	nilH.Merge(b) // nil receiver: no-op, no panic
+	if nilH.Count() != 0 {
+		t.Error("nil receiver mutated")
+	}
+
+	c := NewHistogram("c")
+	c.Observe(10)
+	c.Merge(b)
+	if c.Min() != 3 || c.Max() != 10 || c.Count() != 2 {
+		t.Errorf("merge extremes: count=%d min=%g max=%g, want 2/3/10", c.Count(), c.Min(), c.Max())
+	}
+
+	// Merging a histogram into itself doubles it consistently.
+	d := NewHistogram("d")
+	d.Observe(1)
+	d.Observe(2)
+	d.Merge(d)
+	if d.Count() != 4 || d.Sum() != 6 || d.Min() != 1 || d.Max() != 2 {
+		t.Errorf("self-merge: count=%d sum=%g min=%g max=%g, want 4/6/1/2", d.Count(), d.Sum(), d.Min(), d.Max())
+	}
+}

@@ -1,0 +1,22 @@
+package netsim
+
+import (
+	"testing"
+
+	"dualpar/internal/sim"
+)
+
+// BenchmarkKernelNetSend measures the per-message cost of the network
+// model (link free-time bookkeeping plus the kernel sleep), the innermost
+// loop of every simulated transfer.
+func BenchmarkKernelNetSend(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel(1)
+	n := New(k, DefaultConfig())
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			n.Send(p, i%4, 4+i%4, 64<<10)
+		}
+	})
+	k.Run()
+}

@@ -55,8 +55,8 @@ func (c Config) Validate() error {
 type Network struct {
 	k   *sim.Kernel
 	cfg Config
-	tx  map[int]time.Duration // per-node transmit link free time
-	rx  map[int]time.Duration // per-node receive link free time
+	tx  []time.Duration // per-node transmit link free time, indexed by node
+	rx  []time.Duration // per-node receive link free time, indexed by node
 
 	bytesSent int64
 	messages  int64
@@ -76,12 +76,7 @@ func New(k *sim.Kernel, cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Network{
-		k:   k,
-		cfg: cfg,
-		tx:  make(map[int]time.Duration),
-		rx:  make(map[int]time.Duration),
-	}
+	return &Network{k: k, cfg: cfg}
 }
 
 // Config returns the network configuration.
@@ -113,6 +108,15 @@ func (n *Network) Drops() int64 { return n.drops }
 // Voided reports messages that vanished because an endpoint was a
 // crash-stopped data server (no retransmission — nobody is home).
 func (n *Network) Voided() int64 { return n.voided }
+
+// grow ensures the link free-time slices cover node. Node ids are dense
+// small integers, so flat slices beat maps on the per-message hot path.
+func (n *Network) grow(node int) {
+	for len(n.tx) <= node {
+		n.tx = append(n.tx, 0)
+		n.rx = append(n.rx, 0)
+	}
+}
 
 // xfer returns the serialization time of a message.
 func (n *Network) xfer(bytes int64) time.Duration {
@@ -148,6 +152,11 @@ func (n *Network) Send(p *sim.Proc, from, to int, bytes int64) {
 	n.cMessages.Add(1)
 	n.bytesSent += bytes
 	n.cBytes.Add(bytes)
+	if from > to {
+		n.grow(from)
+	} else {
+		n.grow(to)
+	}
 	now := p.Now()
 	x := n.xfer(bytes)
 	if f := n.faults.LinkFactor(from, to, now); f > 1 {

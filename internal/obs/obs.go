@@ -19,6 +19,8 @@ package obs
 import (
 	"fmt"
 	"time"
+
+	"dualpar/internal/metrics"
 )
 
 // RequestID identifies one end-to-end I/O request. Zero means untraced.
@@ -94,11 +96,21 @@ type Collector struct {
 	spans    []Span
 	instants []Instant
 	reg      *Registry
+
+	// Handle caches for the per-span/per-instant hot path: resolving
+	// "lat.<stage>" / "event.<name>" through the registry concatenates a key
+	// string on every record, which dominated the span path's allocations.
+	latHist map[Stage]*metrics.Histogram
+	evCount map[string]*Counter
 }
 
 // NewCollector creates an enabled collector.
 func NewCollector() *Collector {
-	return &Collector{reg: NewRegistry()}
+	return &Collector{
+		reg:     NewRegistry(),
+		latHist: make(map[Stage]*metrics.Histogram),
+		evCount: make(map[string]*Counter),
+	}
 }
 
 // Enabled reports whether tracing is on (the collector is non-nil).
@@ -121,7 +133,12 @@ func (c *Collector) Span(id RequestID, stage Stage, track string, start, end tim
 		return
 	}
 	c.spans = append(c.spans, Span{ID: id, Stage: stage, Track: track, Start: start, End: end, Args: args})
-	c.reg.Histogram("lat." + string(stage)).Observe((end - start).Seconds())
+	h := c.latHist[stage]
+	if h == nil {
+		h = c.reg.Histogram("lat." + string(stage))
+		c.latHist[stage] = h
+	}
+	h.Observe((end - start).Seconds())
 }
 
 // Instant records one control-plane event and bumps its counter
@@ -131,7 +148,12 @@ func (c *Collector) Instant(name, track string, at time.Duration, args ...Arg) {
 		return
 	}
 	c.instants = append(c.instants, Instant{Name: name, Track: track, At: at, Args: args})
-	c.reg.Counter("event." + name).Add(1)
+	cnt := c.evCount[name]
+	if cnt == nil {
+		cnt = c.reg.Counter("event." + name)
+		c.evCount[name] = cnt
+	}
+	cnt.Add(1)
 }
 
 // Metrics returns the registry (nil on a nil collector; the registry's

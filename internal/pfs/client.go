@@ -148,7 +148,7 @@ func (c *Client) transfer(p *sim.Proc, name string, extents []ext.Extent, origin
 func (c *Client) legacyTransfer(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx, write bool) {
 	fsys := c.fsys
 	per := fsys.split(extents)
-	var reqs []*issued
+	reqs := make([]*issued, 0, len(per))
 	for i, lst := range per {
 		if len(lst) == 0 {
 			continue

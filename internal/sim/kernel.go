@@ -51,6 +51,7 @@ type Kernel struct {
 	now     time.Duration
 	seq     uint64
 	events  eventHeap
+	free    []*event      // recycled events (the sweep hot path allocates none at steady state)
 	parked  chan struct{} // handshake: running Proc yields control back
 	failure *procPanic    // first panic raised inside a Proc
 	nprocs  int           // live (spawned, not yet finished) procs
@@ -80,12 +81,23 @@ func (k *Kernel) Now() time.Duration { return k.now }
 // used from kernel or Proc context.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
-// schedule enqueues fn to run at absolute virtual time at.
+// schedule enqueues fn to run at absolute virtual time at. Event records are
+// recycled through a free list: RunUntil returns each popped event after its
+// callback finishes, so a steady-state simulation stops allocating them. No
+// caller retains the record past its callback.
 func (k *Kernel) schedule(at time.Duration, fn func()) *event {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
 	}
-	e := &event{at: at, seq: k.seq, fn: fn}
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		e.at, e.seq, e.fn = at, k.seq, fn
+	} else {
+		e = &event{at: at, seq: k.seq, fn: fn}
+	}
 	k.seq++
 	heap.Push(&k.events, e)
 	return e
@@ -138,6 +150,8 @@ func (k *Kernel) RunUntil(deadline time.Duration) {
 		heap.Pop(&k.events)
 		k.now = next.at
 		next.fn()
+		next.fn = nil
+		k.free = append(k.free, next)
 		if k.failure != nil {
 			f := k.failure
 			k.failure = nil

@@ -9,6 +9,8 @@ type Proc struct {
 	k      *Kernel
 	name   string
 	resume chan struct{}
+	wake   func() // pre-built resume event callback, shared by every wakeAt
+	w      waiter // reusable Signal wait record (a Proc waits on one thing at a time)
 }
 
 // Spawn creates a Proc named name running fn, starting at the current
@@ -21,6 +23,11 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 // SpawnAt creates a Proc that starts at absolute virtual time at.
 func (k *Kernel) SpawnAt(at time.Duration, name string, fn func(*Proc)) *Proc {
 	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	p.wake = func() {
+		p.resume <- struct{}{}
+		<-p.k.parked
+	}
+	p.w.p = p
 	k.nprocs++
 	k.schedule(at, func() {
 		go func() {
@@ -55,12 +62,10 @@ func (p *Proc) park() {
 }
 
 // wake schedules this Proc to resume at absolute time at. It runs in kernel
-// context.
+// context. The resume callback is built once per Proc (a Proc has at most
+// one pending wake), so scheduling a wake allocates nothing.
 func (p *Proc) wakeAt(at time.Duration) {
-	p.k.schedule(at, func() {
-		p.resume <- struct{}{}
-		<-p.k.parked
-	})
+	p.k.schedule(at, p.wake)
 }
 
 // Sleep suspends the Proc for duration d of virtual time.

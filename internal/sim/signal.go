@@ -7,22 +7,45 @@ import "time"
 // Signal has no memory: a Broadcast with no waiters is a no-op.
 type Signal struct {
 	k       *Kernel
-	waiters []*waiter
+	waiters []waiterRef
 }
 
+// waiter is a Proc's wait record. Each Proc owns exactly one (it can only
+// wait on one thing at a time), embedded in the Proc and reused across
+// waits, so blocking on a Signal allocates nothing. The seq field
+// distinguishes the current wait from records left behind in old waiter
+// lists or captured by expired timeout timers.
 type waiter struct {
 	p        *Proc
+	seq      uint64
 	fired    bool // woken by Broadcast or timeout; skip further wakes
 	timedOut bool
+}
+
+// waiterRef is one entry in a Signal's waiter list: the Proc's wait record
+// plus the wait generation it was enqueued under. A record whose generation
+// has moved on belongs to a later wait (possibly on another Signal) and must
+// be ignored.
+type waiterRef struct {
+	w   *waiter
+	seq uint64
 }
 
 // NewSignal returns a Signal bound to kernel k.
 func (k *Kernel) NewSignal() *Signal { return &Signal{k: k} }
 
+// arm resets p's wait record for a fresh wait and enqueues it.
+func (s *Signal) arm(p *Proc) *waiter {
+	w := &p.w
+	w.seq++
+	w.fired, w.timedOut = false, false
+	s.waiters = append(s.waiters, waiterRef{w: w, seq: w.seq})
+	return w
+}
+
 // Wait blocks p until the next Broadcast.
 func (s *Signal) Wait(p *Proc) {
-	w := &waiter{p: p}
-	s.waiters = append(s.waiters, w)
+	s.arm(p)
 	p.park()
 }
 
@@ -33,11 +56,11 @@ func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
 	if d < 0 {
 		panic("sim: negative timeout")
 	}
-	w := &waiter{p: p}
-	s.waiters = append(s.waiters, w)
+	w := s.arm(p)
+	seq := w.seq
 	s.k.After(d, func() {
-		if w.fired {
-			return
+		if w.seq != seq || w.fired {
+			return // the wait already ended (and w may be serving a later wait)
 		}
 		w.fired = true
 		w.timedOut = true
@@ -51,22 +74,23 @@ func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
 // scheduled at the current time, after events already queued at this
 // instant. Broadcast may be called from kernel or Proc context.
 func (s *Signal) Broadcast() {
-	ws := s.waiters
-	s.waiters = nil
-	for _, w := range ws {
-		if w.fired {
+	// Strict alternation means no Wait can run mid-iteration, so the list
+	// can be truncated in place and its backing array reused.
+	for _, ref := range s.waiters {
+		if ref.w.seq != ref.seq || ref.w.fired {
 			continue
 		}
-		w.fired = true
-		w.p.wakeAt(s.k.now)
+		ref.w.fired = true
+		ref.w.p.wakeAt(s.k.now)
 	}
+	s.waiters = s.waiters[:0]
 }
 
 // WaiterCount reports how many Procs are currently blocked on the Signal.
 func (s *Signal) WaiterCount() int {
 	n := 0
-	for _, w := range s.waiters {
-		if !w.fired {
+	for _, ref := range s.waiters {
+		if ref.w.seq == ref.seq && !ref.w.fired {
 			n++
 		}
 	}
