@@ -51,6 +51,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print the metrics registry after the run")
 	faults := flag.String("faults", "", "fault schedule, e.g. 'disk:1*10@5s-30s;crash:2@5s-20s;drop:102:0.2'")
 	replicas := flag.Int("replicas", 1, "data replicas per stripe (1 = unreplicated)")
+	audit := flag.Bool("audit", false, "arm the invariant oracles; violations exit 1 with a reproducer artifact")
 	flag.Parse()
 
 	prog, err := buildWorkload(*workload, *procs, *mbytes<<20, *write)
@@ -106,10 +107,15 @@ func main() {
 	if *slot > 0 {
 		dcfg.SlotEvery = *slot
 	}
+	dcfg.Audit = *audit
 	runner := core.NewRunner(cl, dcfg)
 	pr := runner.Add(prog, m, core.AddOptions{RanksPerNode: 8})
 	if !runner.Run(24 * time.Hour) {
 		fmt.Fprintln(os.Stderr, "simulation did not finish within 24 simulated hours")
+		os.Exit(1)
+	}
+	if err := runner.AuditErr(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
@@ -138,6 +144,9 @@ func main() {
 	}
 	if c := pr.Cache(); c != nil {
 		fmt.Printf("cache:       %d gets, %d hits, %d evictions\n", c.Gets(), c.Hits(), c.Evictions())
+	}
+	if *audit {
+		fmt.Printf("audit:       all %d oracles held\n", runner.Auditor().Oracles())
 	}
 	if *emclog {
 		fmt.Println("EMC decisions (t, io_ratio, seek/req improvement, data-driven):")

@@ -69,7 +69,10 @@ func main() {
 	out := flag.String("out", "", "directory for CSV outputs")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	parallel := flag.Int("parallel", 0, "max concurrent sweep cells (0 = GOMAXPROCS, 1 = serial)")
+	audit := flag.Bool("audit", false, "arm the invariant oracles on every run (fail loudly with a reproducer artifact)")
 	flag.Parse()
+
+	harness.SetAudit(*audit)
 
 	var log io.Writer = os.Stderr
 	if *quiet {

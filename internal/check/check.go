@@ -1,0 +1,221 @@
+// Package check implements the simulator's default-off audit subsystem:
+// deterministic named counters, inline invariant checks, and registered
+// probes that cross-check the stack's byte ledgers at quiescent points.
+//
+// The package is a leaf — it imports nothing from the simulation — so every
+// layer (sim, iosched, memcache, pfs, core) can hold a narrow audit handle
+// without import cycles. Audit-off is a nil handle: one pointer comparison
+// per instrumentation point, no allocations, and a virtual timeline
+// byte-identical to builds without the hooks (the audit bookkeeping itself
+// never creates simulation events).
+//
+// On the first violated invariant the Auditor dumps a reproducer artifact —
+// seed, configuration description, counter snapshot, and the most recent
+// observability instants — and surfaces a keyed error from Err().
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// Ledger is the counting face an instrumented subsystem holds: deterministic
+// named counters plus inline condition checks. Subsystems keep a nil Ledger
+// when audit is off and guard every use with a nil check, so the audit-off
+// hot paths stay allocation-free.
+type Ledger interface {
+	// Count adds delta to the named counter.
+	Count(key string, delta int64)
+	// Checkf records a keyed violation when cond is false.
+	Checkf(cond bool, key, format string, args ...interface{})
+}
+
+// Probe is a deferred invariant, registered once and evaluated at probe
+// points. A non-nil error is recorded as a violation under the probe's name.
+type Probe func() error
+
+// Violation is one failed invariant. It implements error; the message is
+// keyed so tests and CI can match on the oracle that fired.
+type Violation struct {
+	Key      string        `json:"key"`
+	At       time.Duration `json:"at"`
+	Detail   string        `json:"detail"`
+	Artifact string        `json:"artifact,omitempty"`
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	s := fmt.Sprintf("check: %s at %v: %s", v.Key, v.At, v.Detail)
+	if v.Artifact != "" {
+		s += " (reproducer: " + v.Artifact + ")"
+	}
+	return s
+}
+
+type namedProbe struct {
+	name string
+	fn   Probe
+}
+
+// Auditor collects the audit state of one simulated run. It is driven from
+// simulation context only (the kernel's strict one-Proc alternation means no
+// locking), accumulates violations instead of panicking, and writes one
+// reproducer artifact for the first violation.
+type Auditor struct {
+	seed       int64
+	desc       string
+	dir        string
+	clock      func() time.Duration
+	instants   func(max int) []string
+	counters   map[string]int64
+	probes     []namedProbe // run at every probe point
+	finals     []namedProbe // run only at end of run (quiescent ledgers)
+	violations []*Violation
+}
+
+// artifactInstants bounds how many trailing obs instants land in the
+// reproducer artifact.
+const artifactInstants = 64
+
+// New returns an Auditor for a run started from the given seed. desc is a
+// human-readable configuration summary stored in the reproducer artifact.
+func New(seed int64, desc string) *Auditor {
+	return &Auditor{seed: seed, desc: desc, counters: make(map[string]int64)}
+}
+
+// SetClock attaches the virtual clock violations are stamped with.
+func (a *Auditor) SetClock(fn func() time.Duration) { a.clock = fn }
+
+// SetArtifactDir sets where reproducer artifacts are written (default: the
+// OS temp directory).
+func (a *Auditor) SetArtifactDir(dir string) { a.dir = dir }
+
+// SetInstantSource attaches a formatter for the most recent observability
+// instants; the artifact includes up to max of them.
+func (a *Auditor) SetInstantSource(fn func(max int) []string) { a.instants = fn }
+
+// Count implements Ledger.
+func (a *Auditor) Count(key string, delta int64) { a.counters[key] += delta }
+
+// Counter returns the named counter's value.
+func (a *Auditor) Counter(key string) int64 { return a.counters[key] }
+
+// Checkf implements Ledger.
+func (a *Auditor) Checkf(cond bool, key, format string, args ...interface{}) {
+	if cond {
+		return
+	}
+	a.Violatef(key, format, args...)
+}
+
+// Violatef records a keyed violation unconditionally.
+func (a *Auditor) Violatef(key, format string, args ...interface{}) {
+	v := &Violation{Key: key, Detail: fmt.Sprintf(format, args...)}
+	if a.clock != nil {
+		v.At = a.clock()
+	}
+	if len(a.violations) == 0 {
+		v.Artifact = a.writeArtifact(v)
+	}
+	a.violations = append(a.violations, v)
+}
+
+// RegisterProbe adds an invariant evaluated at every probe point (writeback
+// cycles and end of run).
+func (a *Auditor) RegisterProbe(name string, fn Probe) {
+	a.probes = append(a.probes, namedProbe{name, fn})
+}
+
+// RegisterFinalProbe adds an invariant evaluated only at end of run, for
+// ledgers that are exact only once the simulation is quiescent (e.g. byte
+// conservation with requests mid-flight).
+func (a *Auditor) RegisterFinalProbe(name string, fn Probe) {
+	a.finals = append(a.finals, namedProbe{name, fn})
+}
+
+// RunProbes evaluates every per-cycle probe.
+func (a *Auditor) RunProbes() {
+	for _, pr := range a.probes {
+		if err := pr.fn(); err != nil {
+			a.Violatef(pr.name, "%v", err)
+		}
+	}
+}
+
+// RunFinalProbes evaluates the per-cycle probes and the end-of-run probes.
+func (a *Auditor) RunFinalProbes() {
+	a.RunProbes()
+	for _, pr := range a.finals {
+		if err := pr.fn(); err != nil {
+			a.Violatef(pr.name, "%v", err)
+		}
+	}
+}
+
+// Oracles returns how many probes are registered (per-cycle + final) —
+// the "N oracles held" figure for status lines.
+func (a *Auditor) Oracles() int { return len(a.probes) + len(a.finals) }
+
+// Err returns the first violation (nil when every oracle held).
+func (a *Auditor) Err() error {
+	if len(a.violations) == 0 {
+		return nil
+	}
+	return a.violations[0]
+}
+
+// Violations returns every recorded violation in order.
+func (a *Auditor) Violations() []*Violation { return a.violations }
+
+// artifact is the reproducer file layout.
+type artifact struct {
+	Seed      int64            `json:"seed"`
+	Config    string           `json:"config"`
+	Violation *Violation       `json:"violation"`
+	Counters  map[string]int64 `json:"counters,omitempty"`
+	Instants  []string         `json:"instants,omitempty"`
+}
+
+// writeArtifact dumps the reproducer for the first violation and returns its
+// path (or a note when the dump itself failed — the violation must still
+// surface).
+func (a *Auditor) writeArtifact(v *Violation) string {
+	dir := a.dir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	art := artifact{Seed: a.seed, Config: a.desc, Violation: v, Counters: a.counters}
+	if a.instants != nil {
+		art.Instants = a.instants(artifactInstants)
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return "unwritable: " + err.Error()
+	}
+	f, err := os.CreateTemp(dir, "dualpar-audit-*.json")
+	if err != nil {
+		return "unwritable: " + err.Error()
+	}
+	_, werr := f.Write(append(buf, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return "unwritable: " + werr.Error()
+	}
+	return f.Name()
+}
+
+// Keys returns the counter names, sorted (deterministic artifact diffing
+// and test assertions).
+func (a *Auditor) Keys() []string {
+	keys := make([]string, 0, len(a.counters))
+	for k := range a.counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

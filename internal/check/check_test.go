@@ -1,0 +1,103 @@
+package check
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCountersAndKeys(t *testing.T) {
+	a := New(7, "test")
+	a.Count("b", 2)
+	a.Count("a", 1)
+	a.Count("b", 3)
+	if got := a.Counter("b"); got != 5 {
+		t.Fatalf("Counter(b) = %d, want 5", got)
+	}
+	if got := a.Keys(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Keys() = %v", got)
+	}
+}
+
+func TestCheckfPassRecordsNothing(t *testing.T) {
+	a := New(1, "test")
+	a.Checkf(true, "never", "should not fire")
+	if err := a.Err(); err != nil {
+		t.Fatalf("Err() = %v after passing check", err)
+	}
+}
+
+func TestViolationWritesArtifact(t *testing.T) {
+	a := New(42, "3 servers, demo config")
+	a.SetArtifactDir(t.TempDir())
+	a.SetClock(func() time.Duration { return 3 * time.Second })
+	a.SetInstantSource(func(max int) []string { return []string{"t=1s cache.miss"} })
+	a.Count("bytes", 1024)
+
+	a.Checkf(false, "memcache.used", "used=%d but chunks hold %d", 100, 96)
+	a.Checkf(false, "second", "also broken")
+
+	vs := a.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("violations = %d, want 2", len(vs))
+	}
+	err := a.Err()
+	if err == nil || !strings.Contains(err.Error(), "memcache.used") {
+		t.Fatalf("Err() = %v, want keyed first violation", err)
+	}
+	if vs[0].At != 3*time.Second {
+		t.Errorf("violation At = %v, want 3s", vs[0].At)
+	}
+	// Only the first violation writes the reproducer.
+	if vs[0].Artifact == "" || vs[1].Artifact != "" {
+		t.Fatalf("artifacts = %q / %q, want only the first set", vs[0].Artifact, vs[1].Artifact)
+	}
+	buf, rerr := os.ReadFile(vs[0].Artifact)
+	if rerr != nil {
+		t.Fatalf("reading artifact: %v", rerr)
+	}
+	var art artifact
+	if jerr := json.Unmarshal(buf, &art); jerr != nil {
+		t.Fatalf("artifact is not JSON: %v", jerr)
+	}
+	if art.Seed != 42 || art.Config != "3 servers, demo config" {
+		t.Errorf("artifact seed/config = %d/%q", art.Seed, art.Config)
+	}
+	if art.Counters["bytes"] != 1024 {
+		t.Errorf("artifact counters = %v", art.Counters)
+	}
+	if len(art.Instants) != 1 || art.Instants[0] != "t=1s cache.miss" {
+		t.Errorf("artifact instants = %v", art.Instants)
+	}
+	if art.Violation == nil || art.Violation.Key != "memcache.used" {
+		t.Errorf("artifact violation = %+v", art.Violation)
+	}
+}
+
+func TestProbesRunAtTheRightPoints(t *testing.T) {
+	a := New(1, "test")
+	a.SetArtifactDir(t.TempDir())
+	cycle, final := 0, 0
+	a.RegisterProbe("cycle", func() error { cycle++; return nil })
+	a.RegisterFinalProbe("final", func() error { final++; return errFinal })
+	a.RunProbes()
+	if cycle != 1 || final != 0 {
+		t.Fatalf("after RunProbes: cycle=%d final=%d", cycle, final)
+	}
+	a.RunFinalProbes()
+	if cycle != 2 || final != 1 {
+		t.Fatalf("after RunFinalProbes: cycle=%d final=%d", cycle, final)
+	}
+	err := a.Err()
+	if err == nil || !strings.Contains(err.Error(), "final") {
+		t.Fatalf("Err() = %v, want final-probe violation", err)
+	}
+}
+
+var errFinal = errBox("final ledger mismatch")
+
+type errBox string
+
+func (e errBox) Error() string { return string(e) }

@@ -10,6 +10,7 @@ package cluster
 import (
 	"fmt"
 
+	"dualpar/internal/check"
 	"dualpar/internal/disk"
 	"dualpar/internal/fault"
 	"dualpar/internal/fs"
@@ -156,6 +157,39 @@ const flusherOriginBase = 1 << 20
 
 // Config returns the cluster's configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// EnableAudit attaches the run auditor to every layer the cluster owns: the
+// kernel's monotone-clock check, each dispatcher's pending/byte ledgers, the
+// file system's served/rebuild byte accounting, and end-of-run conservation
+// probes tying the ledgers together. Final (not per-cycle) probes are used
+// for byte conservation because the linked counters update at different
+// points around yields and only agree once the run is quiescent.
+func (c *Cluster) EnableAudit(a *check.Auditor) {
+	c.K.SetAudit(a)
+	c.FS.SetAudit(a)
+	for i, st := range c.Stores {
+		i, st := i, st
+		st.Dispatcher().SetAudit(a)
+		a.RegisterFinalProbe(fmt.Sprintf("conserve.disk.server%d", i), func() error {
+			stats := st.Device().Stats()
+			disk := stats.BytesRead + stats.BytesWritten
+			if got := st.Dispatcher().AuditDispatchedBytes(); got != disk {
+				return fmt.Errorf("scheduler dispatched %d bytes, disk moved %d", got, disk)
+			}
+			return nil
+		})
+		a.RegisterFinalProbe(fmt.Sprintf("conserve.store.server%d", i), func() error {
+			store := st.BytesRead() + st.BytesWritten()
+			served := c.FS.AuditServedBytes(i)
+			rebuild := c.FS.AuditRebuildBytes(i)
+			if store != served+rebuild {
+				return fmt.Errorf("store moved %d logical bytes, pfs accounted %d (served %d + rebuild %d)",
+					store, served+rebuild, served, rebuild)
+			}
+			return nil
+		})
+	}
+}
 
 // Obs returns the cluster-wide collector (nil when tracing is off).
 func (c *Cluster) Obs() *obs.Collector { return c.cfg.Obs }

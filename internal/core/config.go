@@ -97,6 +97,13 @@ type Config struct {
 	CRMMaxRetries int
 	// CRMBackoff is slept before the first relaunch and doubles each time.
 	CRMBackoff time.Duration
+	// Audit arms the default-off invariant oracles (package check): byte
+	// conservation across scheduler, disk, store, and PFS ledgers; cache
+	// used/dirty accounting; per-cycle writeback coherence against the
+	// integrity tracker; and monotone per-proc virtual time. Off (the
+	// default), every hook is a nil handle and the run's timeline and
+	// output stay byte-identical to an unaudited build.
+	Audit bool
 	// Memcache configures the global cache (chunk size should match the
 	// PVFS2 stripe unit).
 	Memcache memcache.Config

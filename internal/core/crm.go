@@ -29,6 +29,16 @@ func (pr *ProgramRun) crmServe(p *sim.Proc, wishFiles []string, wish map[string]
 		}
 		pr.issueByHome(p, file, merged, crmWrite)
 		pr.cache.MarkClean(file)
+		if a := pr.r.audit; a != nil {
+			// Coherence oracle: everything this cycle marked clean must be
+			// durable at a version at least as new as the writers recorded.
+			if err := pr.r.cl.FS.VerifyDurable(file, merged); err != nil {
+				a.Violatef("pfs.coherence", "%v", err)
+			}
+		}
+	}
+	if a := pr.r.audit; a != nil {
+		a.RunProbes()
 	}
 
 	// Close out the previous cycle's mis-prefetch sample: the fraction of

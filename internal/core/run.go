@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dualpar/internal/check"
 	"dualpar/internal/cluster"
 	"dualpar/internal/ext"
 	"dualpar/internal/memcache"
@@ -21,6 +22,7 @@ type Runner struct {
 	cfg   Config
 	progs []*ProgramRun
 	emc   *emc
+	audit *check.Auditor // nil unless cfg.Audit
 }
 
 // NewRunner creates a runner on a cluster.
@@ -29,6 +31,9 @@ func NewRunner(cl *cluster.Cluster, cfg Config) *Runner {
 		panic(err)
 	}
 	r := &Runner{cl: cl, cfg: cfg}
+	if cfg.Audit {
+		r.audit = newRunAuditor(r)
+	}
 	r.emc = newEMC(r)
 	return r
 }
@@ -102,6 +107,10 @@ func (r *Runner) Add(prog workloads.Program, mode Mode, opts AddOptions) *Progra
 		mc := r.cfg.Memcache
 		pr.cache = memcache.New(r.cl.K, r.cl.Net, mc, pr.nodes)
 		pr.cache.SetObs(r.cl.Obs())
+		if r.audit != nil {
+			pr.cache.SetAudit(r.audit)
+			r.audit.RegisterProbe(fmt.Sprintf("memcache.used.prog%d", id), pr.cache.CheckUsed)
+		}
 	}
 	if mode == ModeDualPar || mode == ModeDataDriven {
 		pr.ctrl = newController(pr)
@@ -120,12 +129,28 @@ func (r *Runner) Run(maxTime time.Duration) bool {
 	}
 	r.emc.start()
 	r.cl.K.RunUntil(maxTime)
+	finished := true
 	for _, pr := range r.progs {
 		if !pr.Done {
-			return false
+			finished = false
 		}
 	}
-	return true
+	if r.audit != nil {
+		for _, pr := range r.progs {
+			if pr.Done && pr.cache != nil {
+				r.audit.Checkf(pr.cache.DirtyBytes() == 0, "memcache.dirty.drain",
+					"program %d finished with %d dirty bytes in its cache",
+					pr.id, pr.cache.DirtyBytes())
+			}
+		}
+		if finished {
+			// Byte-conservation ledgers are exact only at quiescence.
+			r.audit.RunFinalProbes()
+		} else {
+			r.audit.RunProbes()
+		}
+	}
+	return finished
 }
 
 // ProgramRun is one program instance under one execution mode.

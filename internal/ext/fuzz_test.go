@@ -2,6 +2,28 @@ package ext
 
 import "testing"
 
+// eq compares extent slices element-wise.
+func eq(a, b []Extent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// clampOff bounds fuzz-supplied offsets/lengths to non-negative values small
+// enough that End() cannot overflow.
+func clampOff(v int64) int64 {
+	if v < 0 {
+		v = -v
+	}
+	return v % (1 << 40)
+}
+
 // FuzzMergeWithHoles checks the extent algebra's invariants under arbitrary
 // inputs: merged output is sorted and disjoint, covers the input, and hole
 // accounting balances exactly.
@@ -51,6 +73,87 @@ func FuzzMergeWithHoles(f *testing.F) {
 		// Chunk splitting conserves bytes.
 		if pieces := SplitAt(merged, 64<<10); Total(pieces) != Total(merged) {
 			t.Fatalf("SplitAt lost bytes")
+		}
+	})
+}
+
+// FuzzHolesReconstruct pins the contract Holes documents but never checks:
+// for merged = MergeWithHoles(xs, h), the covered input plus the holes must
+// reconstruct merged exactly, and the holes must be disjoint from the input.
+func FuzzHolesReconstruct(f *testing.F) {
+	f.Add(int64(0), int64(10), int64(12), int64(4), int64(30), int64(5), int64(8))
+	f.Add(int64(100), int64(1), int64(50), int64(100), int64(0), int64(0), int64(0))
+	f.Add(int64(5), int64(0), int64(5), int64(5), int64(7), int64(9), int64(64))
+	f.Fuzz(func(t *testing.T, aOff, aLen, bOff, bLen, cOff, cLen, hole int64) {
+		xs := []Extent{
+			{Off: clampOff(aOff), Len: clampOff(aLen)},
+			{Off: clampOff(bOff), Len: clampOff(bLen)},
+			{Off: clampOff(cOff), Len: clampOff(cLen)},
+		}
+		merged := MergeWithHoles(xs, clampOff(hole))
+		covered := Merge(xs)
+		holes := Holes(xs, merged)
+		// Exact reconstruction: covered ∪ holes == merged.
+		if got := Merge(append(append([]Extent(nil), covered...), holes...)); !eq(got, merged) {
+			t.Fatalf("covered %v + holes %v reconstruct %v, want %v", covered, holes, got, merged)
+		}
+		// Holes never overlap input data.
+		for _, h := range holes {
+			for _, c := range covered {
+				if h.Overlaps(c) {
+					t.Fatalf("hole %v overlaps covered %v", h, c)
+				}
+			}
+		}
+	})
+}
+
+// FuzzAlignSplitRoundTrip checks the chunk-granularity transforms:
+// AlignTo yields unit-aligned extents covering the input with bounded
+// expansion, and SplitAt is a pure partition — merging the pieces restores
+// the merged input exactly and every piece stays inside one unit block.
+func FuzzAlignSplitRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(10), int64(100), int64(28), int64(16))
+	f.Add(int64(7), int64(93), int64(64), int64(64), int64(64))
+	f.Add(int64(1), int64(1), int64(2), int64(2), int64(1))
+	f.Fuzz(func(t *testing.T, aOff, aLen, bOff, bLen, unit int64) {
+		xs := []Extent{
+			{Off: clampOff(aOff), Len: clampOff(aLen)},
+			{Off: clampOff(bOff), Len: clampOff(bLen)},
+		}
+		u := clampOff(unit)%(1<<20) + 1
+		aligned := AlignTo(xs, u)
+		merged := Merge(xs)
+		for _, a := range aligned {
+			if u > 1 && (a.Off%u != 0 || a.End()%u != 0) {
+				t.Fatalf("AlignTo(%v, %d) produced unaligned %v", xs, u, a)
+			}
+		}
+		for _, m := range merged {
+			covered := false
+			for _, a := range aligned {
+				if a.Contains(m.Off, m.Len) {
+					covered = true
+				}
+			}
+			if !covered {
+				t.Fatalf("aligned %v does not cover %v", aligned, m)
+			}
+		}
+		// Expansion bound: at most unit-1 bytes added on each side of each
+		// merged extent.
+		if Total(aligned) > Total(merged)+int64(len(merged))*2*(u-1) {
+			t.Fatalf("AlignTo expanded %d bytes to %d with unit %d", Total(merged), Total(aligned), u)
+		}
+		// SplitAt round-trips through Merge and respects block boundaries.
+		pieces := SplitAt(merged, u)
+		if got := Merge(pieces); !eq(got, merged) {
+			t.Fatalf("Merge(SplitAt(%v, %d)) = %v, want %v", merged, u, got, merged)
+		}
+		for _, p := range pieces {
+			if p.Off/u != (p.End()-1)/u {
+				t.Fatalf("piece %v spans a %d-byte boundary", p, u)
+			}
 		}
 	})
 }

@@ -133,7 +133,19 @@ func executeFaults(seed int64, maxTime time.Duration, ddCfg core.Config, sch *fa
 	return executeOn(cluster.New(cfg), maxTime, ddCfg, specs)
 }
 
+// auditRuns arms the invariant oracles on every experiment run. Set once by
+// SetAudit before the suite starts (the worker pool reads it concurrently).
+var auditRuns bool
+
+// SetAudit makes every subsequent experiment run execute with the audit
+// oracles armed; any violated invariant panics with the keyed error and its
+// reproducer artifact path, failing the suite loudly.
+func SetAudit(v bool) { auditRuns = v }
+
 func executeOn(cl *cluster.Cluster, maxTime time.Duration, ddCfg core.Config, specs []runSpec) ([]measured, *cluster.Cluster) {
+	if auditRuns {
+		ddCfg.Audit = true
+	}
 	r := core.NewRunner(cl, ddCfg)
 	var runs []*core.ProgramRun
 	for _, sp := range specs {
@@ -145,6 +157,9 @@ func executeOn(cl *cluster.Cluster, maxTime time.Duration, ddCfg core.Config, sp
 		}))
 	}
 	r.Run(maxTime)
+	if err := r.AuditErr(); err != nil {
+		panic(err)
+	}
 	out := make([]measured, len(specs))
 	for i, pr := range runs {
 		var io time.Duration

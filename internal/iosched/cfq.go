@@ -30,6 +30,7 @@ type cfqQueue struct {
 	q            sortedQueue
 	lastComplete time.Duration
 	everServed   bool
+	inflight     int           // dispatched to the device, not yet completed
 	think        time.Duration // EWMA of completion-to-next-arrival gap
 }
 
@@ -55,7 +56,11 @@ func (c *CFQ) Add(r *Request, now time.Duration) {
 		c.queues[r.Origin] = q
 		c.order = append(c.order, r.Origin)
 	}
-	if q.q.len() == 0 && q.everServed {
+	// Think time is the gap between a completion and the origin's *next*
+	// submission. With a request still in flight that gap has not started,
+	// so sampling here would fold the device's service time into the EWMA
+	// and make a perfectly synchronous pipelined origin look seeky.
+	if q.q.len() == 0 && q.inflight == 0 && q.everServed {
 		sample := now - q.lastComplete
 		q.think = (q.think*7 + sample) / 8
 	}
@@ -102,6 +107,7 @@ func (c *CFQ) Next(now time.Duration, head int64) (*Request, time.Duration) {
 func (c *CFQ) take(q *cfqQueue, head int64) *Request {
 	r := q.q.nextFrom(head)
 	c.count--
+	q.inflight++
 	return r
 }
 
@@ -118,6 +124,9 @@ func (c *CFQ) deactivate() {
 		}
 	}
 	c.active = -1
+	// The idle deadline belongs to the slice that just ended; a later slice
+	// must not anticipate (or give up) against it.
+	c.idleBy = 0
 }
 
 // Pending implements Algorithm.
@@ -131,7 +140,13 @@ func (c *CFQ) NotifyComplete(r *Request, now time.Duration) {
 	}
 	q.lastComplete = now
 	q.everServed = true
-	if r.Origin == c.active && q.q.len() == 0 {
+	if q.inflight > 0 {
+		q.inflight--
+	}
+	// Arm the idle window only once the current slice's last request has
+	// completed; with requests still in flight the origin has not gone
+	// quiet, and the window would start (and possibly expire) too early.
+	if r.Origin == c.active && q.q.len() == 0 && q.inflight == 0 {
 		c.idleBy = now + c.IdleWindow
 	}
 }

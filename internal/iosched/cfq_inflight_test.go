@@ -1,0 +1,73 @@
+package iosched
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCFQPipelinedStreamKeepsSlice: an origin that keeps a request in flight
+// while submitting the next one (pipelined synchronous I/O) must not have the
+// device's service time mistaken for think time. Before per-queue in-flight
+// accounting, Add sampled the completion-to-arrival gap whenever the queue
+// was empty — including while a request was being serviced — so a perfectly
+// prompt pipelined origin accumulated think ≈ service time, anticipation was
+// abandoned mid-stream, and another origin's far-away request was interleaved
+// into the sequential stream.
+func TestCFQPipelinedStreamKeepsSlice(t *testing.T) {
+	c := NewCFQ()
+	c.IdleWindow = 2 * time.Millisecond
+
+	const svc = 5 * time.Millisecond // device service time per request
+	now := time.Duration(0)
+
+	// Drive the algorithm the way the serial dispatcher does: at most one
+	// request in flight, completion svc after dispatch.
+	dispatch := func() *Request {
+		r, _ := c.Next(now, 0)
+		return r
+	}
+	complete := func(r *Request) {
+		now += svc
+		c.NotifyComplete(r, now)
+	}
+
+	// Origin 1 first so it owns the first slice; origin 2's far-away request
+	// stays pending the whole time.
+	c.Add(&Request{LBN: 0, Sectors: 8, Origin: 1}, now)
+	c.Add(&Request{LBN: 1 << 22, Sectors: 8, Origin: 2}, now)
+
+	// Each pair: dispatch a, b arrives while a is in flight (4 ms into its
+	// 5 ms service), then a 500 µs think gap before the next pair — far
+	// inside the idle window, so the slice must never leave origin 1.
+	const pairs = 8
+	for i := 0; i < pairs; i++ {
+		a := dispatch()
+		if a == nil || a.Origin != 1 {
+			t.Fatalf("pair %d: slice left origin 1 early: dispatched %+v", i, a)
+		}
+		c.Add(&Request{LBN: int64(2*i+1) * 64, Sectors: 8, Origin: 1}, now+4*time.Millisecond)
+		complete(a)
+		b := dispatch()
+		if b == nil || b.Origin != 1 {
+			t.Fatalf("pair %d: slice left origin 1 early: dispatched %+v", i, b)
+		}
+		complete(b)
+		if r, idleBy := c.Next(now, 0); r != nil {
+			t.Fatalf("pair %d: anticipation abandoned, origin %d interleaved (think poisoned by in-flight arrival)", i, r.Origin)
+		} else if idleBy <= now {
+			t.Fatalf("pair %d: idle window not armed after last completion", i)
+		}
+		if i < pairs-1 {
+			now += 500 * time.Microsecond
+			c.Add(&Request{LBN: int64(2*i+2) * 64, Sectors: 8, Origin: 1}, now)
+		}
+	}
+
+	// Stream over: only after the idle window expires does origin 2 run.
+	now += c.IdleWindow
+	r, _ := c.Next(now, 0)
+	if r == nil || r.Origin != 2 {
+		t.Fatalf("origin 2 not served after stream ended: got %+v", r)
+	}
+	c.NotifyComplete(r, now+svc)
+}

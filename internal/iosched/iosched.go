@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"dualpar/internal/check"
 	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
@@ -78,6 +79,13 @@ type Dispatcher struct {
 	busy    bool
 	track   string
 	obs     *obs.Collector
+
+	// Audit state (nil audit = off). auditPending mirrors the elevator's
+	// queued-request count from the outside; auditBytes sums sectors
+	// dispatched to the device.
+	audit        check.Ledger
+	auditPending int64
+	auditBytes   int64
 }
 
 // NewDispatcher creates a dispatcher and starts its dispatch Proc. name also
@@ -91,6 +99,16 @@ func NewDispatcher(k *sim.Kernel, name string, dev Device, alg Algorithm) *Dispa
 // SetObs attaches the observability collector: every dispatched request then
 // records a StageDisk span on the dispatcher's track.
 func (d *Dispatcher) SetObs(c *obs.Collector) { d.obs = c }
+
+// SetAudit attaches the audit ledger. Every Enqueue then asserts the
+// elevator's pending count moved by exactly 0 (merge) or 1 (insert), and the
+// dispatch loop keeps an external mirror of the pending count (which must
+// never go negative) plus a byte ledger of everything sent to the device.
+func (d *Dispatcher) SetAudit(l check.Ledger) { d.audit = l }
+
+// AuditDispatchedBytes reports the bytes dispatched to the device since the
+// audit ledger was attached (sectors x 512).
+func (d *Dispatcher) AuditDispatchedBytes() int64 { return d.auditBytes }
 
 // Algorithm returns the elevator policy in use.
 func (d *Dispatcher) Algorithm() Algorithm { return d.alg }
@@ -108,7 +126,17 @@ func (d *Dispatcher) Enqueue(r *Request) {
 	if r.done == nil {
 		r.done = d.k.NewSignal()
 	}
-	d.alg.Add(r, d.k.Now())
+	if d.audit != nil {
+		before := d.alg.Pending()
+		d.alg.Add(r, d.k.Now())
+		delta := d.alg.Pending() - before
+		d.audit.Checkf(delta == 0 || delta == 1, "iosched.pending.delta",
+			"%s: Add moved Pending by %d (LBN %d origin %d), want 0 or 1",
+			d.track, delta, r.LBN, r.Origin)
+		d.auditPending += int64(delta)
+	} else {
+		d.alg.Add(r, d.k.Now())
+	}
 	d.arrival.Broadcast()
 }
 
@@ -143,6 +171,11 @@ func (d *Dispatcher) loop(p *sim.Proc) {
 		}
 		d.busy = true
 		start := p.Now()
+		if d.audit != nil {
+			// Count before Access: the device updates its stats before any
+			// sleep, so the two ledgers agree at every yield point.
+			d.auditBytes += r.Sectors * 512
+		}
 		d.dev.Access(p, r.LBN, r.Sectors, r.Write)
 		d.busy = false
 		if d.obs.Enabled() {
@@ -158,6 +191,15 @@ func (d *Dispatcher) loop(p *sim.Proc) {
 		d.lastEnd = r.End()
 		d.served++
 		d.alg.NotifyComplete(r, p.Now())
+		if d.audit != nil {
+			// One dispatch retires exactly one pending entry: absorbed merges
+			// never entered the mirror (their Add deltas were 0).
+			d.auditPending--
+			d.audit.Checkf(d.auditPending >= 0, "iosched.pending.negative",
+				"%s: pending mirror went negative after dispatch of LBN %d", d.track, r.LBN)
+			d.audit.Checkf(d.auditPending == int64(d.alg.Pending()), "iosched.pending.mirror",
+				"%s: pending mirror %d != elevator Pending %d", d.track, d.auditPending, d.alg.Pending())
+		}
 		d.complete(r)
 	}
 }

@@ -66,6 +66,28 @@ func TestSweeperSkipsAllDirtyCache(t *testing.T) {
 	}
 }
 
+// TestMarkCleanRearmsSweeper: if every chunk is dirty when a put runs, the
+// sweeper is (correctly) not armed — but then MarkClean must re-arm it, or
+// the cleaned chunks are never evicted and `used` grows without bound.
+func TestMarkCleanRearmsSweeper(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := DefaultConfig()
+	c := newCache(k, cfg)
+	k.Spawn("p", func(p *sim.Proc) {
+		c.PutDirty(p, 100, "f", []ext.Extent{{Off: 0, Len: cfg.ChunkBytes}})
+		// Writeback completes: the only chunk goes clean. No put follows.
+		c.MarkClean("f")
+		p.Sleep(3 * cfg.EvictAfter)
+		if c.UsedBytes() != 0 {
+			t.Errorf("cleaned chunk never evicted: used=%d (sweeper not re-armed)", c.UsedBytes())
+		}
+		if ev := c.Evictions(); ev != 1 {
+			t.Errorf("evictions=%d, want 1", ev)
+		}
+	})
+	k.Run()
+}
+
 // TestCapacityAllDirtyNoVictim: when every cached byte is dirty,
 // enforceCapacity must give up (writeback will drain) rather than spin or
 // evict unwritten data.

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"dualpar/internal/check"
 	"dualpar/internal/ext"
 	"dualpar/internal/netsim"
 	"dualpar/internal/obs"
@@ -84,7 +85,8 @@ type Cache struct {
 	statGets, statHits int64
 	statEvictions      int64
 
-	obs *obs.Collector
+	obs   *obs.Collector
+	audit check.Ledger // nil = audit off
 }
 
 // New creates a cache whose chunks are homed round-robin on nodes. An
@@ -134,6 +136,39 @@ func (c *Cache) armSweeper() {
 // cache.hit or cache.miss instant on the "cache" track.
 func (c *Cache) SetObs(o *obs.Collector) { c.obs = o }
 
+// SetAudit attaches the audit ledger: every Get then asserts its requested
+// bytes split exactly into hit bytes plus missing bytes.
+func (c *Cache) SetAudit(l check.Ledger) { c.audit = l }
+
+// CheckUsed verifies the cache's used-bytes ledger against the chunk table:
+// used must equal the sum of valid bytes over all chunks, and every dirty
+// range must lie inside its chunk's valid set. It is registered as a
+// per-cycle audit probe; the walk is pure bookkeeping (no simulation events).
+func (c *Cache) CheckUsed() error {
+	var total int64
+	for key, ch := range c.chunks {
+		total += ext.Total(ch.valid)
+		for _, d := range ch.dirty {
+			covered := false
+			for _, v := range ch.valid {
+				if cl, ok := v.Clip(d.Off, d.End()); ok && cl == d {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return fmt.Errorf("chunk %s/%d: dirty %+v not covered by valid %v",
+					key.file, key.idx, d, ch.valid)
+			}
+		}
+	}
+	if total != c.used {
+		return fmt.Errorf("used ledger %d != %d valid bytes across %d chunks",
+			c.used, total, len(c.chunks))
+	}
+	return nil
+}
+
 // Home returns the node that stores the given chunk.
 func (c *Cache) Home(idx int64) int {
 	return c.nodes[int(idx)%len(c.nodes)]
@@ -179,6 +214,7 @@ func (c *Cache) chunkRel(e ext.Extent) []struct {
 func (c *Cache) Get(p *sim.Proc, fromNode int, file string, extents ...ext.Extent) (miss []ext.Extent) {
 	c.statGets++
 	now := p.Now()
+	var auditMiss int64
 	var perHome homeBytes // hit bytes by home node
 	for _, e := range extents {
 		for _, cr := range c.chunkRel(e) {
@@ -200,10 +236,20 @@ func (c *Cache) Get(p *sim.Proc, fromNode int, file string, extents ...ext.Exten
 				// refetched with the miss, as DualPar's CRM refills chunks
 				// wholesale).
 				miss = append(miss, ext.Extent{Off: base + cr.rel.Off, Len: cr.rel.Len})
+				auditMiss += cr.rel.Len
 				continue
 			}
 			perHome = perHome.add(c.Home(cr.idx), hitB)
 		}
+	}
+	if c.audit != nil {
+		var hit int64
+		for _, h := range perHome {
+			hit += h.bytes
+		}
+		c.audit.Checkf(hit+auditMiss == ext.Total(extents), "memcache.get.conserve",
+			"Get(%s): %d hit + %d miss != %d requested bytes",
+			file, hit, auditMiss, ext.Total(extents))
 	}
 	c.chargeTransfers(p, fromNode, perHome, false)
 	miss = ext.Merge(miss)
@@ -338,6 +384,10 @@ func (c *Cache) MarkClean(file string) {
 			ch.dirty = nil
 		}
 	}
+	// The chunks just became evictable. If every chunk was dirty when the
+	// last put ran, no sweep is pending — without re-arming here the cleaned
+	// chunks would sit in the cache forever.
+	c.armSweeper()
 }
 
 // DirtyBytes reports total dirty bytes across files.

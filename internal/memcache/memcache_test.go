@@ -50,6 +50,91 @@ func TestPartialChunkCountsAsMiss(t *testing.T) {
 	k.Run()
 }
 
+// TestPartialHitChargesNoTransfer pins the billing side of the partial-hit
+// path: a chunk that is only partly valid reports the whole piece missing
+// and charges neither the home-node op cost nor a wire transfer — the audit
+// ledger counts those bytes as missed, not hit.
+func TestPartialHitChargesNoTransfer(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := DefaultConfig()
+	c := newCache(k, cfg, 100, 101) // chunk 1 homes on node 101
+	k.Spawn("p", func(p *sim.Proc) {
+		chunk1 := ext.Extent{Off: cfg.ChunkBytes, Len: cfg.ChunkBytes}
+		// Only the first 4K of the remote chunk is valid.
+		c.PutClean(p, 101, "f", []ext.Extent{{Off: cfg.ChunkBytes, Len: 4 << 10}})
+		t0 := p.Now()
+		miss := c.Get(p, 100, "f", chunk1)
+		if p.Now() != t0 {
+			t.Errorf("partial hit charged %v of op/transfer time, want none", p.Now()-t0)
+		}
+		if len(miss) != 1 || miss[0] != chunk1 {
+			t.Errorf("miss = %v, want whole piece %v", miss, chunk1)
+		}
+		// Once fully valid, the same Get pays the remote transfer.
+		c.PutClean(p, 101, "f", []ext.Extent{chunk1})
+		t0 = p.Now()
+		if miss := c.Get(p, 100, "f", chunk1); len(miss) != 0 {
+			t.Errorf("full chunk still missing: %v", miss)
+		}
+		if p.Now() == t0 {
+			t.Errorf("remote full hit charged nothing")
+		}
+	})
+	k.Run()
+}
+
+// TestPartialHitMixedBatch: a Get spanning a fully-valid local chunk and a
+// partially-valid remote chunk pays exactly one local op (for the hit) and
+// nothing for the partial chunk.
+func TestPartialHitMixedBatch(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := DefaultConfig()
+	c := newCache(k, cfg, 100, 101)
+	k.Spawn("p", func(p *sim.Proc) {
+		c.PutClean(p, 100, "f", []ext.Extent{{Off: 0, Len: cfg.ChunkBytes}}) // chunk 0, local to 100
+		c.PutClean(p, 101, "f", []ext.Extent{{Off: cfg.ChunkBytes, Len: 1 << 10}})
+		t0 := p.Now()
+		miss := c.Get(p, 100, "f", ext.Extent{Off: 0, Len: 2 * cfg.ChunkBytes})
+		if got := p.Now() - t0; got != cfg.OpCPU {
+			t.Errorf("mixed batch charged %v, want one local op %v", got, cfg.OpCPU)
+		}
+		want := ext.Extent{Off: cfg.ChunkBytes, Len: cfg.ChunkBytes}
+		if len(miss) != 1 || miss[0] != want {
+			t.Errorf("miss = %v, want %v", miss, want)
+		}
+	})
+	k.Run()
+}
+
+// TestMissRefreshesLastRef pins that a lookup touching a partially-valid
+// chunk refreshes its lastRef even though it reports a miss: the chunk is
+// still hot, so the idle sweeper must not reclaim it until a full EvictAfter
+// has passed since the lookup.
+func TestMissRefreshesLastRef(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := DefaultConfig()
+	c := newCache(k, cfg)
+	e := ext.Extent{Off: 0, Len: 4 << 10}
+	k.Spawn("p", func(p *sim.Proc) {
+		c.PutClean(p, 100, "f", []ext.Extent{e})
+		p.Sleep(cfg.EvictAfter * 6 / 10)
+		// Partial-chunk lookup: a miss, but it must touch lastRef.
+		if miss := c.Get(p, 100, "f", ext.Extent{Off: 0, Len: cfg.ChunkBytes}); len(miss) == 0 {
+			t.Fatalf("partial chunk reported as hit")
+		}
+		p.Sleep(cfg.EvictAfter * 6 / 10)
+		// 1.2×EvictAfter after the put, but only 0.6× after the touch.
+		if c.UsedBytes() != 4<<10 {
+			t.Errorf("chunk evicted %v after a touching miss: used=%d", cfg.EvictAfter*6/10, c.UsedBytes())
+		}
+		p.Sleep(cfg.EvictAfter)
+		if c.UsedBytes() != 0 {
+			t.Errorf("chunk survived a full idle EvictAfter: used=%d", c.UsedBytes())
+		}
+	})
+	k.Run()
+}
+
 func TestGetSpanningChunks(t *testing.T) {
 	k := sim.NewKernel(1)
 	cfg := DefaultConfig()

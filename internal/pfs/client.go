@@ -149,6 +149,14 @@ func (c *Client) legacyTransfer(p *sim.Proc, name string, extents []ext.Extent, 
 	fsys := c.fsys
 	per := fsys.split(extents)
 	reqs := make([]*issued, 0, len(per))
+	// With the integrity tracker enabled, legacy writes get version stamps
+	// too, so the audit coherence oracle covers the single-replica path. The
+	// stamping itself adds no simulation events.
+	var ver int64
+	if write && fsys.tracker != nil {
+		fsys.verCounter++
+		ver = fsys.verCounter
+	}
 	for i, lst := range per {
 		if len(lst) == 0 {
 			continue
@@ -162,6 +170,7 @@ func (c *Client) legacyTransfer(p *sim.Proc, name string, extents []ext.Extent, 
 			client:  c.Node,
 			done:    fsys.k.NewSignal(),
 			rc:      rc,
+			ver:     ver,
 		}
 		msg := fsys.cfg.HeaderBytes + fsys.cfg.ExtentDescBytes*int64(len(lst))
 		if write {
@@ -174,6 +183,9 @@ func (c *Client) legacyTransfer(p *sim.Proc, name string, extents []ext.Extent, 
 	}
 	for _, is := range reqs {
 		c.await(p, is)
+	}
+	if ver != 0 {
+		fsys.tracker.recordExpected(name, extents, ver)
 	}
 }
 

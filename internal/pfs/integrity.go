@@ -1,6 +1,7 @@
 package pfs
 
 import (
+	"container/heap"
 	"sort"
 
 	"dualpar/internal/ext"
@@ -23,10 +24,47 @@ type VersionSeg struct {
 	Ver int64
 }
 
+// segList holds the stamps for one range space (a logical file or one
+// replica's local file). Stamping appends to a pending buffer in O(1);
+// the canonical sorted list is rebuilt lazily on first read. Max-wins
+// per byte is commutative, so deferring the fold preserves semantics —
+// and keeps an audited run from going quadratic in the write count
+// (every write used to rebuild the whole list).
+type segList struct {
+	segs    []VersionSeg // sorted, non-overlapping, coalesced
+	pending []VersionSeg // stamps not yet folded in
+}
+
+func (l *segList) add(e ext.Extent, ver int64) {
+	if e.Len > 0 {
+		l.pending = append(l.pending, VersionSeg{Ext: e, Ver: ver})
+	}
+}
+
+// compacted folds pending stamps into the canonical list and returns it.
+func (l *segList) compacted() []VersionSeg {
+	if len(l.pending) > 0 {
+		all := make([]VersionSeg, 0, len(l.segs)+len(l.pending))
+		all = append(all, l.segs...)
+		all = append(all, l.pending...)
+		l.segs = mergeMaxWins(all)
+		l.pending = l.pending[:0]
+	}
+	return l.segs
+}
+
+// overlayForce stamps a range unconditionally (the corruption path, which
+// must beat max-wins). Pending stamps are folded first so ordering against
+// earlier writes is preserved; later writes max-win over the forced stamp
+// exactly as they did before.
+func (l *segList) overlayForce(e ext.Extent, ver int64) {
+	l.segs = overlaySegs(l.compacted(), e, ver, true)
+}
+
 // Tracker holds version stamps while integrity checking is enabled.
 type Tracker struct {
-	expected map[string][]VersionSeg         // logical file -> global segs
-	applied  map[int]map[string][]VersionSeg // server -> replica file -> local segs
+	expected map[string]*segList         // logical file -> global segs
+	applied  map[int]map[string]*segList // server -> replica file -> local segs
 }
 
 // EnableIntegrity arms the end-to-end data-integrity oracle and returns
@@ -35,8 +73,8 @@ type Tracker struct {
 func (fsys *FileSystem) EnableIntegrity() *Tracker {
 	if fsys.tracker == nil {
 		fsys.tracker = &Tracker{
-			expected: make(map[string][]VersionSeg),
-			applied:  make(map[int]map[string][]VersionSeg),
+			expected: make(map[string]*segList),
+			applied:  make(map[int]map[string]*segList),
 		}
 	}
 	return fsys.tracker
@@ -44,6 +82,29 @@ func (fsys *FileSystem) EnableIntegrity() *Tracker {
 
 // Tracker returns the integrity tracker (nil when not enabled).
 func (fsys *FileSystem) Tracker() *Tracker { return fsys.tracker }
+
+func (t *Tracker) expectedList(name string) *segList {
+	l := t.expected[name]
+	if l == nil {
+		l = &segList{}
+		t.expected[name] = l
+	}
+	return l
+}
+
+func (t *Tracker) appliedList(server int, file string) *segList {
+	m := t.applied[server]
+	if m == nil {
+		m = make(map[string]*segList)
+		t.applied[server] = m
+	}
+	l := m[file]
+	if l == nil {
+		l = &segList{}
+		m[file] = l
+	}
+	return l
+}
 
 // Files lists every logical file with expected content, sorted.
 func (t *Tracker) Files() []string {
@@ -57,18 +118,22 @@ func (t *Tracker) Files() []string {
 
 // Expected returns the logical file's expected version segs (global
 // coordinates, sorted, non-overlapping).
-func (t *Tracker) Expected(name string) []VersionSeg { return t.expected[name] }
+func (t *Tracker) Expected(name string) []VersionSeg {
+	if l := t.expected[name]; l != nil {
+		return l.compacted()
+	}
+	return nil
+}
 
 // recordExpected stamps a completed logical write.
 func (t *Tracker) recordExpected(name string, extents []ext.Extent, ver int64) {
 	if t == nil {
 		return
 	}
-	segs := t.expected[name]
+	l := t.expectedList(name)
 	for _, e := range extents {
-		segs = overlaySegs(segs, e, ver, false)
+		l.add(e, ver)
 	}
-	t.expected[name] = segs
 }
 
 // apply stamps a write as applied by one replica (max-wins).
@@ -76,41 +141,24 @@ func (t *Tracker) apply(server int, file string, extents []ext.Extent, ver int64
 	if t == nil || ver == 0 {
 		return
 	}
-	m := t.applied[server]
-	if m == nil {
-		m = make(map[string][]VersionSeg)
-		t.applied[server] = m
-	}
-	segs := m[file]
+	l := t.appliedList(server, file)
 	for _, e := range extents {
-		segs = overlaySegs(segs, e, ver, false)
+		l.add(e, ver)
 	}
-	m[file] = segs
 }
 
 // query returns the version segs a replica holds over one local extent,
 // with unwritten gaps reported as version 0.
 func (t *Tracker) query(server int, file string, e ext.Extent) []VersionSeg {
-	var out []VersionSeg
-	cur := e.Off
+	var segs []VersionSeg
 	if t != nil {
-		for _, s := range t.applied[server][file] {
-			if s.Ext.End() <= e.Off || s.Ext.Off >= e.End() {
-				continue
+		if m := t.applied[server]; m != nil {
+			if l := m[file]; l != nil {
+				segs = l.compacted()
 			}
-			off := max(s.Ext.Off, e.Off)
-			end := min(s.Ext.End(), e.End())
-			if off > cur {
-				out = append(out, VersionSeg{Ext: ext.Extent{Off: cur, Len: off - cur}})
-			}
-			out = append(out, VersionSeg{Ext: ext.Extent{Off: off, Len: end - off}, Ver: s.Ver})
-			cur = end
 		}
 	}
-	if cur < e.End() {
-		out = append(out, VersionSeg{Ext: ext.Extent{Off: cur, Len: e.End() - cur}})
-	}
-	return out
+	return segsOver(segs, e)
 }
 
 // copyApplied copies a peer's stamps onto a rebuilt range (max-wins, so a
@@ -119,16 +167,15 @@ func (t *Tracker) copyApplied(fromServer int, fromFile string, toServer int, toF
 	if t == nil {
 		return
 	}
+	var dst *segList
 	for _, s := range t.query(fromServer, fromFile, e) {
 		if s.Ver == 0 {
 			continue
 		}
-		m := t.applied[toServer]
-		if m == nil {
-			m = make(map[string][]VersionSeg)
-			t.applied[toServer] = m
+		if dst == nil {
+			dst = t.appliedList(toServer, toFile)
 		}
-		m[toFile] = overlaySegs(m[toFile], s.Ext, s.Ver, false)
+		dst.add(s.Ext, s.Ver)
 	}
 }
 
@@ -140,17 +187,87 @@ func (t *Tracker) Corrupt(server int, file string, e ext.Extent) {
 	if t == nil {
 		return
 	}
-	m := t.applied[server]
-	if m == nil {
-		m = make(map[string][]VersionSeg)
-		t.applied[server] = m
+	t.appliedList(server, file).overlayForce(e, -1)
+}
+
+// segEvent is one boundary in the mergeMaxWins sweep.
+type segEvent struct {
+	off   int64
+	ver   int64
+	start bool
+}
+
+// verHeap is a max-heap of active versions for the sweep.
+type verHeap []int64
+
+func (h verHeap) Len() int           { return len(h) }
+func (h verHeap) Less(i, j int) bool { return h[i] > h[j] }
+func (h verHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *verHeap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *verHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeMaxWins canonicalises an arbitrary (unsorted, overlapping) stamp
+// list into sorted, non-overlapping, coalesced segs, keeping the highest
+// version per byte. Boundary sweep with a lazily-pruned max-heap of active
+// versions: O(n log n) in the stamp count.
+func mergeMaxWins(stamps []VersionSeg) []VersionSeg {
+	evs := make([]segEvent, 0, 2*len(stamps))
+	for _, s := range stamps {
+		if s.Ext.Len <= 0 {
+			continue
+		}
+		evs = append(evs,
+			segEvent{off: s.Ext.Off, ver: s.Ver, start: true},
+			segEvent{off: s.Ext.End(), ver: s.Ver})
 	}
-	m[file] = overlaySegs(m[file], e, -1, true)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].off < evs[j].off })
+
+	var (
+		out    []VersionSeg
+		active verHeap
+		dead   = make(map[int64]int)
+	)
+	emit := func(off, end int64) {
+		for active.Len() > 0 && dead[active[0]] > 0 {
+			dead[active[0]]--
+			heap.Pop(&active)
+		}
+		if end <= off || active.Len() == 0 {
+			return
+		}
+		v := active[0]
+		if n := len(out); n > 0 && out[n-1].Ver == v && out[n-1].Ext.End() == off {
+			out[n-1].Ext.Len += end - off
+			return
+		}
+		out = append(out, VersionSeg{Ext: ext.Extent{Off: off, Len: end - off}, Ver: v})
+	}
+	var prev int64
+	for i := 0; i < len(evs); {
+		off := evs[i].off
+		emit(prev, off)
+		for ; i < len(evs) && evs[i].off == off; i++ {
+			if evs[i].start {
+				heap.Push(&active, evs[i].ver)
+			} else {
+				dead[evs[i].ver]++
+			}
+		}
+		prev = off
+	}
+	return out
 }
 
 // overlaySegs overlays [e.Off, e.End()) with ver onto a sorted,
 // non-overlapping seg list. force overwrites unconditionally; otherwise
-// the higher version wins per byte.
+// the higher version wins per byte. Used only on the rare forced path —
+// the bulk stamping goes through segList.add + mergeMaxWins.
 func overlaySegs(segs []VersionSeg, e ext.Extent, ver int64, force bool) []VersionSeg {
 	if e.Len <= 0 {
 		return segs

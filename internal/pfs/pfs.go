@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"dualpar/internal/check"
 	"dualpar/internal/ext"
 	"dualpar/internal/fault"
 	"dualpar/internal/fs"
@@ -150,6 +151,14 @@ type FileSystem struct {
 	tracker    *Tracker
 	verCounter int64
 	failovers  int64
+
+	// Audit byte ledgers (nil = audit off): logical bytes each server's
+	// store served for client requests, and bytes its store moved for
+	// replica rebuild copies. Their sum must equal the store's own logical
+	// counters at end of run.
+	audit        check.Ledger
+	auditServed  []int64
+	auditRebuild []int64
 }
 
 // Server is one data server.
@@ -227,6 +236,24 @@ func (fsys *FileSystem) Config() Config { return fsys.cfg }
 // SetObs attaches the observability collector: traced requests then record
 // per-worker StageServer spans.
 func (fsys *FileSystem) SetObs(c *obs.Collector) { fsys.obs = c }
+
+// SetAudit attaches the audit ledger and starts per-server byte accounting:
+// logical bytes served to clients and logical bytes moved by rebuild copies,
+// which together must match each store's own counters once the run drains.
+func (fsys *FileSystem) SetAudit(l check.Ledger) {
+	fsys.audit = l
+	fsys.auditServed = make([]int64, len(fsys.servers))
+	fsys.auditRebuild = make([]int64, len(fsys.servers))
+}
+
+// AuditServedBytes reports the logical bytes server i's store served for
+// client requests since SetAudit (counted whether or not the ack survived a
+// crash window — the store moved the bytes either way).
+func (fsys *FileSystem) AuditServedBytes(i int) int64 { return fsys.auditServed[i] }
+
+// AuditRebuildBytes reports the logical bytes server i's store read or wrote
+// for replica rebuild copies since SetAudit.
+func (fsys *FileSystem) AuditRebuildBytes(i int) int64 { return fsys.auditRebuild[i] }
 
 // SetFaults attaches a fault injector; data servers then honor the
 // schedule's stall and CPU-slowdown windows. A nil injector is a no-op.
@@ -321,6 +348,12 @@ func (srv *Server) workerLoop(p *sim.Proc, track string) {
 			srv.Store.WriteMulti(p, req.file, req.extents, origin, req.rc)
 		} else {
 			srv.Store.ReadMulti(p, req.file, req.extents, origin, req.rc)
+		}
+		if fsys.auditServed != nil {
+			// Counted right after the store call, before the post-service
+			// crash check: a dropped ack does not undo the bytes the store
+			// already moved (and already counted on its side).
+			fsys.auditServed[srv.Index] += ext.Total(req.extents)
 		}
 		// A crash that struck mid-service died holding the answer: the
 		// write may have reached the platter but no ack leaves the box, so

@@ -287,6 +287,10 @@ func (fsys *FileSystem) rebuildLoop(p *sim.Proc, server int, dirty []dirtyFile) 
 				peer.Store.ReadMulti(p, srcFile, lst, serverOriginBase+peer.Index, obs.Ctx{})
 				fsys.net.Send(p, peer.Node, srv.Node, fsys.cfg.HeaderBytes+piece.Len)
 				srv.Store.WriteMulti(p, df.file, lst, serverOriginBase+srv.Index, obs.Ctx{})
+				if fsys.auditRebuild != nil {
+					fsys.auditRebuild[peer.Index] += piece.Len
+					fsys.auditRebuild[srv.Index] += piece.Len
+				}
 				fsys.tracker.copyApplied(peer.Index, srcFile, srv.Index, df.file, piece)
 				copied += piece.Len
 				// Background throttle: cap the copy rate so rebuild traffic

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"dualpar/internal/check"
 )
 
 // event is a scheduled callback in virtual time.
@@ -57,7 +59,13 @@ type Kernel struct {
 	nprocs  int           // live (spawned, not yet finished) procs
 	stopped bool
 	rng     *rand.Rand
+	audit   check.Ledger // nil unless a run auditor is attached
 }
+
+// SetAudit attaches an audit ledger: every Proc then verifies on resume that
+// its observed virtual time never moves backwards. Nil (the default) costs
+// one pointer comparison per park and keeps the hot paths allocation-free.
+func (k *Kernel) SetAudit(l check.Ledger) { k.audit = l }
 
 // procPanic carries a panic out of a Proc goroutine into Run.
 type procPanic struct {

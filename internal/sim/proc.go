@@ -11,6 +11,8 @@ type Proc struct {
 	resume chan struct{}
 	wake   func() // pre-built resume event callback, shared by every wakeAt
 	w      waiter // reusable Signal wait record (a Proc waits on one thing at a time)
+
+	lastNow time.Duration // audit only: virtual time observed at the last resume
 }
 
 // Spawn creates a Proc named name running fn, starting at the current
@@ -59,6 +61,11 @@ func (p *Proc) Now() time.Duration { return p.k.now }
 func (p *Proc) park() {
 	p.k.parked <- struct{}{}
 	<-p.resume
+	if p.k.audit != nil {
+		p.k.audit.Checkf(p.k.now >= p.lastNow, "sim.proc.monotone",
+			"proc %s resumed at %v after observing %v", p.name, p.k.now, p.lastNow)
+		p.lastNow = p.k.now
+	}
 }
 
 // wake schedules this Proc to resume at absolute time at. It runs in kernel

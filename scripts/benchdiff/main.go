@@ -13,6 +13,13 @@
 //
 //	go run ./scripts/benchdiff -baseline BENCH_baseline.json bench.txt
 //
+// -zero REGEXP additionally asserts every matched benchmark reports exactly
+// 0 allocs/op (blocking; no match is an error). With an empty -baseline the
+// comparison is skipped, so -zero can gate allocation-free hot paths on a
+// partial run without a baseline file:
+//
+//	go run ./scripts/benchdiff -baseline '' -zero 'BenchmarkKernel' bench.txt
+//
 // ns/op is compared within ±threshold (default 10%); allocs/op likewise but
 // a difference of at most one allocation is always tolerated (tiny counts
 // jitter with testing.B accounting). Benchmarks present in only one of the
@@ -106,6 +113,7 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against")
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional drift per metric")
 	note := flag.String("note", "", "note stored in the baseline (with -write)")
+	zero := flag.String("zero", "", "regexp of benchmarks that must report 0 allocs/op (blocking)")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -136,6 +144,37 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(got), *write)
+		return
+	}
+
+	zeroFailed := 0
+	if *zero != "" {
+		re, err := regexp.Compile(*zero)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: -zero: %v\n", err)
+			os.Exit(2)
+		}
+		matched := 0
+		for _, name := range sortedNames(got) {
+			if !re.MatchString(name) {
+				continue
+			}
+			matched++
+			if g := got[name]; g.AllocsPerOp != 0 {
+				fmt.Printf("ALLOC    %-45s %.0f allocs/op, want 0\n", name, g.AllocsPerOp)
+				zeroFailed++
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: -zero %q matched no benchmarks\n", *zero)
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff: %d zero-alloc benchmarks checked, %d violations\n", matched, zeroFailed)
+	}
+	if *baseline == "" {
+		if zeroFailed > 0 {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -180,7 +219,7 @@ func main() {
 		}
 	}
 	fmt.Printf("benchdiff: %d compared, %d beyond ±%.0f%%\n", compared, failed, *threshold*100)
-	if failed > 0 {
+	if failed > 0 || zeroFailed > 0 {
 		os.Exit(1)
 	}
 }
