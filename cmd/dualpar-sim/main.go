@@ -6,11 +6,14 @@
 //
 //	dualpar-sim -workload mpi-io-test -mode dualpar -procs 64 -mb 128 [-write]
 //	            [-servers 9] [-sched cfq|deadline|noop] [-seed N]
-//	            [-trace out.json] [-stats] [-faults SPEC] [-replicas N]
+//	            [-trace out.json] [-stats] [-report] [-faults SPEC] [-replicas N]
 //
 // -trace writes a Chrome trace-event JSON of every I/O request's journey
 // through the stack (load it at ui.perfetto.dev); -stats prints the metrics
-// registry (latency histograms, counters, gauges) after the run.
+// registry (latency histograms, counters, gauges) after the run; -report
+// prints the time-attribution report (phase breakdown, per-server
+// utilization, critical paths — see dualpar-analyze for offline use on a
+// saved -trace file).
 //
 // -faults injects a deterministic fault schedule (see fault.Parse), e.g.
 // "disk:1*10@5s-30s;crash:2@5s-20s;drop:102:0.2@0s-10s", and arms the
@@ -33,6 +36,7 @@ import (
 	"dualpar/internal/fault"
 	"dualpar/internal/iosched"
 	"dualpar/internal/obs"
+	"dualpar/internal/obs/analyze"
 	"dualpar/internal/workloads"
 )
 
@@ -49,6 +53,7 @@ func main() {
 	slot := flag.Duration("slot", 0, "EMC sampling slot (default 1s)")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	stats := flag.Bool("stats", false, "print the metrics registry after the run")
+	report := flag.Bool("report", false, "print the time-attribution report (phases, utilization, critical paths)")
 	faults := flag.String("faults", "", "fault schedule, e.g. 'disk:1*10@5s-30s;crash:2@5s-20s;drop:102:0.2'")
 	replicas := flag.Int("replicas", 1, "data replicas per stripe (1 = unreplicated)")
 	audit := flag.Bool("audit", false, "arm the invariant oracles; violations exit 1 with a reproducer artifact")
@@ -82,7 +87,7 @@ func main() {
 		os.Exit(2)
 	}
 	var collector *obs.Collector
-	if *traceOut != "" || *stats {
+	if *traceOut != "" || *stats || *report {
 		collector = obs.NewCollector()
 		ccfg.Obs = collector
 	}
@@ -183,10 +188,29 @@ func main() {
 		fmt.Printf("trace:       %s (%d spans, %d instants; open at ui.perfetto.dev)\n",
 			*traceOut, len(collector.Spans()), len(collector.Instants()))
 	}
+	var rep *analyze.Report
+	if *report {
+		// Register the phase histograms before the summary prints so -stats
+		// shows per-request phase latencies alongside the raw stage metrics.
+		rep = analyze.FromCollector(collector, analyze.Options{})
+		rep.RegisterMetrics(collector.Metrics(), analyze.AttributeAll(collector.Spans()))
+	}
 	if *stats {
 		fmt.Println()
 		if err := collector.WriteSummary(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if rep != nil {
+		fmt.Println()
+		if err := rep.RenderText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !rep.Conserved() {
+			fmt.Fprintf(os.Stderr, "time attribution violates conservation (max residual %dns)\n",
+				int64(rep.MaxResidual))
 			os.Exit(1)
 		}
 	}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	experiments [-run all|fig1a|fig1b|fig1cd|fig3|fig4|fig5|table2|fig6|fig7|fig8|table3|straggler|...]
-//	            [-quick] [-seed N] [-out DIR] [-q] [-parallel N]
+//	            [-quick] [-seed N] [-out DIR] [-q] [-parallel N] [-report]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // Sweeps run across GOMAXPROCS workers by default; -parallel 1 falls back to
 // the serial path. Output tables are byte-identical either way (the sweep
@@ -20,6 +21,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dualpar/internal/harness"
@@ -70,9 +73,42 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	parallel := flag.Int("parallel", 0, "max concurrent sweep cells (0 = GOMAXPROCS, 1 = serial)")
 	audit := flag.Bool("audit", false, "arm the invariant oracles on every run (fail loudly with a reproducer artifact)")
+	report := flag.Bool("report", false, "attach tracing to every run and print time-attribution reports after the tables")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
 	harness.SetAudit(*audit)
+	harness.SetReport(*report)
 
 	var log io.Writer = os.Stderr
 	if *quiet {
@@ -124,6 +160,23 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+		}
+	}
+	if *report {
+		// Reports drain sorted by run key, so this section is byte-identical
+		// at any -parallel setting.
+		for _, rr := range harness.DrainReports() {
+			fmt.Printf("== report: %s ==\n", rr.Key)
+			if err := rr.Report.RenderText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if !rr.Report.Conserved() {
+				fmt.Fprintf(os.Stderr, "run %s: attribution violates conservation (max residual %dns)\n",
+					rr.Key, int64(rr.Report.MaxResidual))
+				os.Exit(1)
+			}
+			fmt.Println()
 		}
 	}
 }

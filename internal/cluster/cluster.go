@@ -194,6 +194,22 @@ func (c *Cluster) EnableAudit(a *check.Auditor) {
 // Obs returns the cluster-wide collector (nil when tracing is off).
 func (c *Cluster) Obs() *obs.Collector { return c.cfg.Obs }
 
+// EnableObs wires a collector into an already-built cluster: the network,
+// the PFS layer, and every store pick it up exactly as if it had been set in
+// the Config at construction. Call before any simulation runs; a nil
+// collector is a no-op.
+func (c *Cluster) EnableObs(col *obs.Collector) {
+	if col == nil {
+		return
+	}
+	c.cfg.Obs = col
+	c.Net.SetObs(col)
+	c.FS.SetObs(col)
+	for _, st := range c.Stores {
+		st.SetObs(col)
+	}
+}
+
 // Faults returns the cluster's fault injector (nil when no schedule was
 // configured; a nil injector is safe to query).
 func (c *Cluster) Faults() *fault.Injector { return c.inj }

@@ -109,8 +109,9 @@ func (c *controller) armDeadline() {
 // waitReadCycle suspends a rank that missed the cache: its pending request
 // is guaranteed into the batch, a ghost is forked from the rank's current
 // position, and the rank sleeps until the cycle is served.
-func (c *controller) waitReadCycle(p *sim.Proc, rank int, gen workloads.RankGen, op workloads.Op) {
+func (c *controller) waitReadCycle(p *sim.Proc, rank int, gen workloads.RankGen, op workloads.Op, rc obs.Ctx) {
 	myGen := c.join(p)
+	susStart := p.Now()
 	c.noteSuspend(p, rank, "read-miss")
 	// The triggering request itself is always served (§IV-C: prefetch
 	// includes the data the process and its peers are anticipated to read,
@@ -122,18 +123,27 @@ func (c *controller) waitReadCycle(p *sim.Proc, rank int, gen workloads.RankGen,
 		c.resume.Wait(p)
 	}
 	c.noteResume(p, rank)
+	if rc.Traced() {
+		c.pr.obs().Span(rc.ID, obs.StageSuspend, rc.Track, susStart, p.Now(),
+			obs.Str("why", "read-miss"), obs.I64("gen", int64(myGen)))
+	}
 }
 
 // waitWriteback suspends a rank whose dirty quota filled until the next
 // cycle's writeback drains the cache. The caller accounts the time.
-func (c *controller) waitWriteback(p *sim.Proc, rank int) {
+func (c *controller) waitWriteback(p *sim.Proc, rank int, rc obs.Ctx) {
 	myGen := c.join(p)
+	susStart := p.Now()
 	c.noteSuspend(p, rank, "write-quota")
 	c.maybeServe()
 	for c.gen == myGen {
 		c.resume.Wait(p)
 	}
 	c.noteResume(p, rank)
+	if rc.Traced() {
+		c.pr.obs().Span(rc.ID, obs.StageSuspend, rc.Track, susStart, p.Now(),
+			obs.Str("why", "write-quota"), obs.I64("gen", int64(myGen)))
+	}
 }
 
 // noteSuspend and noteResume mark one rank's suspension window on its own

@@ -399,24 +399,36 @@ func (pr *ProgramRun) write(p *sim.Proc, rank int, gen workloads.RankGen, op wor
 func (pr *ProgramRun) dataDrivenRead(p *sim.Proc, rank int, gen workloads.RankGen, op workloads.Op) {
 	start := p.Now()
 	node := pr.world.Node(rank)
+	rc := pr.rankRequest(rank)
+	endSpan := func(outcome string) {
+		if rc.Traced() {
+			pr.obs().Span(rc.ID, obs.StageRequest, rc.Track, start, p.Now(),
+				obs.Str("verb", "dd-read"), obs.I64("bytes", op.Bytes()),
+				obs.Str("outcome", outcome))
+		}
+	}
 	const maxCycles = 8
 	for attempt := 0; ; attempt++ {
-		missing := pr.cache.Get(p, node, op.File, op.Extents...)
+		missing := pr.cache.GetTraced(p, node, rc, op.File, op.Extents...)
 		if len(missing) == 0 {
 			pr.consumedCycle += op.Bytes()
 			pr.instr.Record(p.Now(), op.File, op.Extents)
 			pr.instr.Span(rank, start, p.Now(), op.Bytes())
+			endSpan("cache")
 			return
 		}
 		if attempt >= maxCycles || !pr.dataDriven {
 			// Safety valve (and mode reverted mid-wait): serve the rest
 			// directly. ReadExtents accounts the bytes it fetches; the
 			// cycle waits and the cache-served portion are charged here.
+			// Close the dd-read span first: ReadExtents opens a request of
+			// its own on the same track.
 			pr.instr.Span(rank, start, p.Now(), op.Bytes()-ext.Total(missing))
+			endSpan("fallback")
 			pr.file(op.File).ReadExtents(p, rank, ext.Merge(missing))
 			return
 		}
-		pr.ctrl.waitReadCycle(p, rank, gen, op)
+		pr.ctrl.waitReadCycle(p, rank, gen, op, rc)
 	}
 }
 
@@ -425,11 +437,26 @@ func (pr *ProgramRun) dataDrivenRead(p *sim.Proc, rank int, gen workloads.RankGe
 func (pr *ProgramRun) dataDrivenWrite(p *sim.Proc, rank int, op workloads.Op) {
 	start := p.Now()
 	node := pr.world.Node(rank)
-	pr.cache.PutDirty(p, node, op.File, op.Extents)
+	rc := pr.rankRequest(rank)
+	pr.cache.PutDirtyTraced(p, node, rc, op.File, op.Extents)
 	pr.dirtyUsed[rank] += op.Bytes()
 	pr.instr.Record(p.Now(), op.File, op.Extents)
 	if pr.dirtyUsed[rank] >= pr.r.cfg.CacheQuotaBytes {
-		pr.ctrl.waitWriteback(p, rank)
+		pr.ctrl.waitWriteback(p, rank, rc)
 	}
 	pr.instr.Span(rank, start, p.Now(), op.Bytes())
+	if rc.Traced() {
+		pr.obs().Span(rc.ID, obs.StageRequest, rc.Track, start, p.Now(),
+			obs.Str("verb", "dd-write"), obs.I64("bytes", op.Bytes()))
+	}
+}
+
+// rankRequest opens a fresh traced request on the rank's track, or the zero
+// Ctx when tracing is off (no track string is built on the disabled path).
+func (pr *ProgramRun) rankRequest(rank int) obs.Ctx {
+	o := pr.obs()
+	if !o.Enabled() {
+		return obs.Ctx{}
+	}
+	return o.StartRequest(fmt.Sprintf("prog%d/rank%d", pr.id, rank))
 }

@@ -79,18 +79,24 @@ func (s *strategy2) prefetchLoop(p *sim.Proc, rank int) {
 					one := []ext.Extent{e}
 					rc := s.pr.obs().StartRequest(fmt.Sprintf("prog%d/s2/rank%d", s.pr.id, rank))
 					start := rp.Now()
-					err := cl.Read(rp, file, one, s.pr.origins[rank], rc)
-					if rc.Traced() {
-						s.pr.obs().Span(rc.ID, obs.StageRequest, rc.Track, start, rp.Now(),
-							obs.Str("verb", "s2-prefetch"), obs.I64("bytes", e.Len))
+					endSpan := func() {
+						if rc.Traced() {
+							s.pr.obs().Span(rc.ID, obs.StageRequest, rc.Track, start, rp.Now(),
+								obs.Str("verb", "s2-prefetch"), obs.I64("bytes", e.Len))
+						}
 					}
+					err := cl.Read(rp, file, one, s.pr.origins[rank], rc)
 					if err != nil {
 						// A failed prefetch must not seed the cache; the
 						// consumer's own read will surface the error.
+						endSpan()
 						s.pr.fail(err)
 						return
 					}
-					s.pr.cache.PutClean(rp, node, file, one)
+					// The cache insertion belongs to the prefetch request, so
+					// the span closes after it (its StageCache child must nest).
+					s.pr.cache.PutCleanTraced(rp, node, rc, file, one)
+					endSpan()
 				})
 				// Issuing itself is not free: the pre-execution thread
 				// spends a moment per request.
@@ -114,15 +120,26 @@ func (s *strategy2) noteConsumed(rank int, bytes int64) {
 func (s *strategy2) read(p *sim.Proc, rank int, op workloads.Op) {
 	start := p.Now()
 	node := s.pr.world.Node(rank)
-	missing := s.pr.cache.Get(p, node, op.File, op.Extents...)
+	rc := s.pr.rankRequest(rank)
+	endSpan := func(outcome string) {
+		if rc.Traced() {
+			s.pr.obs().Span(rc.ID, obs.StageRequest, rc.Track, start, p.Now(),
+				obs.Str("verb", "s2-read"), obs.I64("bytes", op.Bytes()),
+				obs.Str("outcome", outcome))
+		}
+	}
+	missing := s.pr.cache.GetTraced(p, node, rc, op.File, op.Extents...)
 	s.noteConsumed(rank, op.Bytes())
 	if len(missing) == 0 {
 		s.pr.instr.Record(p.Now(), op.File, op.Extents)
 		s.pr.instr.Span(rank, start, p.Now(), op.Bytes())
+		endSpan("cache")
 		return
 	}
 	// The cache-served portion is accounted here; ReadExtents accounts the
-	// bytes it fetches itself.
+	// bytes it fetches itself. The s2-read span closes before ReadExtents
+	// opens its own request on the same track.
 	s.pr.instr.Span(rank, start, p.Now(), op.Bytes()-ext.Total(missing))
+	endSpan("fallback")
 	s.pr.file(op.File).ReadExtents(p, rank, ext.Merge(missing))
 }

@@ -85,6 +85,30 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// Breakdown decomposes one access's service time into its cost-model
+// components. Streamed forward skips (SeqWindow) count as Seek: the head is
+// positioning over unwanted sectors, even though it moves at media rate.
+// The components sum exactly to the charged service time.
+type Breakdown struct {
+	Overhead time.Duration // command/controller cost (plus degradation surcharge)
+	Seek     time.Duration // head movement, including streamed skips
+	Rotation time.Duration // rotational latency
+	Transfer time.Duration // media transfer of the requested sectors
+}
+
+// Total is the sum of the components — the access's service time.
+func (b Breakdown) Total() time.Duration {
+	return b.Overhead + b.Seek + b.Rotation + b.Transfer
+}
+
+// BreakdownReporter is implemented by devices that can report the component
+// breakdown of their most recent access. The dispatcher that owns the device
+// reads it immediately after Access returns (devices are single-owner, so
+// there is no race).
+type BreakdownReporter interface {
+	LastBreakdown() Breakdown
+}
+
 // A Device serves sector-addressed accesses, charging virtual time to the
 // calling Proc.
 type Device interface {
@@ -143,6 +167,7 @@ type Disk struct {
 	stats  Stats
 	trace  *Trace
 	rng    *rand.Rand
+	lastBD Breakdown
 }
 
 // New creates a disk. It panics if params are invalid (a configuration bug).
@@ -178,20 +203,19 @@ func (d *Disk) Head() int64 { return d.head }
 // current head position (rotational latency at its mean, half a
 // revolution). Access charges the sampled time when RandomRotation is on.
 func (d *Disk) ServiceTime(lbn, sectors int64) time.Duration {
-	pos := positioning(d.params, d.head, lbn, halfRotation(d.params.RPM))
-	xfer := transferTime(d.params, sectors)
-	return d.params.CommandOverhead + pos + xfer
+	return serviceBreakdown(d.params, d.head, lbn, sectors, halfRotation(d.params.RPM)).Total()
 }
 
-// sampledServiceTime draws the rotational latency if RandomRotation is on.
-func (d *Disk) sampledServiceTime(lbn, sectors int64) time.Duration {
+// LastBreakdown implements BreakdownReporter.
+func (d *Disk) LastBreakdown() Breakdown { return d.lastBD }
+
+// sampledBreakdown draws the rotational latency if RandomRotation is on.
+func (d *Disk) sampledBreakdown(lbn, sectors int64) Breakdown {
 	rot := halfRotation(d.params.RPM)
 	if d.params.RandomRotation {
 		rot = time.Duration(d.rng.Int63n(int64(2 * rot)))
 	}
-	pos := positioning(d.params, d.head, lbn, rot)
-	xfer := transferTime(d.params, sectors)
-	return d.params.CommandOverhead + pos + xfer
+	return serviceBreakdown(d.params, d.head, lbn, sectors, rot)
 }
 
 // Access implements Device.
@@ -199,7 +223,8 @@ func (d *Disk) Access(p *sim.Proc, lbn, sectors int64, write bool) time.Duration
 	if lbn < 0 || sectors <= 0 || lbn+sectors > d.params.Sectors {
 		panic(fmt.Sprintf("disk: access [%d,%d) outside device of %d sectors", lbn, lbn+sectors, d.params.Sectors))
 	}
-	t := d.sampledServiceTime(lbn, sectors)
+	d.lastBD = d.sampledBreakdown(lbn, sectors)
+	t := d.lastBD.Total()
 	dist := lbn - d.head
 	if dist < 0 {
 		dist = -dist
@@ -226,23 +251,29 @@ func (d *Disk) Access(p *sim.Proc, lbn, sectors int64, write bool) time.Duration
 	return t
 }
 
-// positioning returns the head-movement plus rotational time to reach lbn
-// from head, with the given rotational latency for non-streamed moves.
-func positioning(params Params, head, lbn int64, rot time.Duration) time.Duration {
+// serviceBreakdown decomposes one access from head into its components,
+// with the given rotational latency for non-streamed moves. The total is
+// identical to the historical overhead + positioning + transfer sum.
+func serviceBreakdown(params Params, head, lbn, sectors int64, rot time.Duration) Breakdown {
+	bd := Breakdown{
+		Overhead: params.CommandOverhead,
+		Transfer: transferTime(params, sectors),
+	}
 	dist := lbn - head
-	if dist == 0 {
-		return 0
-	}
-	if dist > 0 && dist <= params.SeqWindow {
+	switch {
+	case dist == 0:
+	case dist > 0 && dist <= params.SeqWindow:
 		// Stream over the short forward gap at media rate.
-		return time.Duration(float64(dist*int64(params.SectorSize)) / params.TransferRate * float64(time.Second))
+		bd.Seek = time.Duration(float64(dist*int64(params.SectorSize)) / params.TransferRate * float64(time.Second))
+	default:
+		if dist < 0 {
+			dist = -dist
+		}
+		frac := math.Sqrt(float64(dist) / float64(params.Sectors))
+		bd.Seek = params.SeekMin + time.Duration(frac*float64(params.SeekMax-params.SeekMin))
+		bd.Rotation = rot
 	}
-	if dist < 0 {
-		dist = -dist
-	}
-	frac := math.Sqrt(float64(dist) / float64(params.Sectors))
-	seek := params.SeekMin + time.Duration(frac*float64(params.SeekMax-params.SeekMin))
-	return seek + rot
+	return bd
 }
 
 // halfRotation is the expected rotational latency: half a revolution.

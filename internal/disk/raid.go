@@ -17,6 +17,7 @@ type RAID0 struct {
 	sectors      int64
 	stats        Stats
 	trace        *Trace
+	lastBD       Breakdown
 }
 
 // NewRAID0 builds a RAID0 over members with the given chunk size in sectors.
@@ -84,6 +85,7 @@ func (r *RAID0) Access(p *sim.Proc, lbn, sectors int64, write bool) time.Duratio
 		active       bool
 	}
 	runs := make([]run, n)
+	var worstBD Breakdown
 	flush := func(i int64) {
 		if !runs[i].active {
 			return
@@ -91,6 +93,7 @@ func (r *RAID0) Access(p *sim.Proc, lbn, sectors int64, write bool) time.Duratio
 		t := r.members[i].serve(runs[i].lbn, runs[i].sectors, write)
 		if t > worst {
 			worst = t
+			worstBD = r.members[i].LastBreakdown()
 		}
 		runs[i].active = false
 	}
@@ -116,6 +119,9 @@ func (r *RAID0) Access(p *sim.Proc, lbn, sectors int64, write bool) time.Duratio
 	}
 	r.stats.Accesses++
 	r.stats.BusyTime += worst
+	// The access completes when the slowest member does, so the gating
+	// member's component split is the access's breakdown.
+	r.lastBD = worstBD
 	if r.trace != nil {
 		r.trace.add(Entry{At: p.Now(), LBN: lbn, Sectors: sectors, Write: write})
 	}
@@ -123,10 +129,15 @@ func (r *RAID0) Access(p *sim.Proc, lbn, sectors int64, write bool) time.Duratio
 	return worst
 }
 
+// LastBreakdown implements BreakdownReporter: the breakdown of the member
+// run that gated the most recent access.
+func (r *RAID0) LastBreakdown() Breakdown { return r.lastBD }
+
 // serve performs a member access without a Proc (time is accounted by the
 // RAID wrapper). It mirrors Disk.Access's bookkeeping.
 func (d *Disk) serve(lbn, sectors int64, write bool) time.Duration {
-	t := d.ServiceTime(lbn, sectors)
+	d.lastBD = serviceBreakdown(d.params, d.head, lbn, sectors, halfRotation(d.params.RPM))
+	t := d.lastBD.Total()
 	dist := lbn - d.head
 	if dist < 0 {
 		dist = -dist

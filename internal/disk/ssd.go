@@ -54,6 +54,7 @@ type SSD struct {
 	stats  Stats
 	trace  *Trace
 	head   int64 // tracked only so seek statistics remain comparable
+	lastBD Breakdown
 }
 
 // NewSSD creates an SSD device.
@@ -79,6 +80,10 @@ func (d *SSD) Stats() Stats { return d.stats }
 // Trace implements Device.
 func (d *SSD) Trace() *Trace { return d.trace }
 
+// LastBreakdown implements BreakdownReporter. Flash has no mechanical
+// positioning, so the split is per-command latency (Overhead) plus Transfer.
+func (d *SSD) LastBreakdown() Breakdown { return d.lastBD }
+
 // Access implements Device: position-independent service time.
 func (d *SSD) Access(p *sim.Proc, lbn, sectors int64, write bool) time.Duration {
 	if lbn < 0 || sectors <= 0 || lbn+sectors > d.params.Sectors {
@@ -90,6 +95,7 @@ func (d *SSD) Access(p *sim.Proc, lbn, sectors int64, write bool) time.Duration 
 	}
 	bytes := sectors * int64(d.params.SectorSize)
 	t := lat + time.Duration(float64(bytes)/d.params.TransferRate*float64(time.Second))
+	d.lastBD = Breakdown{Overhead: lat, Transfer: t - lat}
 
 	dist := lbn - d.head
 	if dist < 0 {

@@ -13,9 +13,10 @@ import (
 // on top. Stats and traces delegate to the wrapped device, so locality
 // daemons observe the real access pattern — only time degrades.
 type Device struct {
-	inner  disk.Device
-	inj    *Injector
-	server int
+	inner     disk.Device
+	inj       *Injector
+	server    int
+	lastExtra time.Duration // degradation surcharge of the latest access
 }
 
 // WrapDevice wraps dev for the given data-server index. With a nil
@@ -27,12 +28,27 @@ func WrapDevice(dev disk.Device, inj *Injector, server int) *Device {
 // Access implements disk.Device.
 func (d *Device) Access(p *sim.Proc, lbn, sectors int64, write bool) time.Duration {
 	t := d.inner.Access(p, lbn, sectors, write)
+	d.lastExtra = 0
 	if f := d.inj.DiskFactor(d.server, p.Now()); f > 1 {
 		extra := time.Duration(float64(t) * (f - 1))
 		p.Sleep(extra)
 		t += extra
+		d.lastExtra = extra
 	}
 	return t
+}
+
+// LastBreakdown implements disk.BreakdownReporter: the wrapped device's
+// breakdown with the degradation surcharge folded into Overhead, so the
+// components still sum to the time the dispatcher observed.
+func (d *Device) LastBreakdown() disk.Breakdown {
+	br, ok := d.inner.(disk.BreakdownReporter)
+	if !ok {
+		return disk.Breakdown{}
+	}
+	bd := br.LastBreakdown()
+	bd.Overhead += d.lastExtra
+	return bd
 }
 
 // Sectors implements disk.Device.

@@ -18,6 +18,7 @@ import (
 	"dualpar/internal/fault"
 	"dualpar/internal/metrics"
 	"dualpar/internal/mpiio"
+	"dualpar/internal/obs"
 	"dualpar/internal/workloads"
 )
 
@@ -146,6 +147,11 @@ func executeOn(cl *cluster.Cluster, maxTime time.Duration, ddCfg core.Config, sp
 	if auditRuns {
 		ddCfg.Audit = true
 	}
+	var reportCol *obs.Collector
+	if reportRuns && cl.Obs() == nil {
+		reportCol = obs.NewCollector()
+		cl.EnableObs(reportCol)
+	}
 	r := core.NewRunner(cl, ddCfg)
 	var runs []*core.ProgramRun
 	for _, sp := range specs {
@@ -159,6 +165,9 @@ func executeOn(cl *cluster.Cluster, maxTime time.Duration, ddCfg core.Config, sp
 	r.Run(maxTime)
 	if err := r.AuditErr(); err != nil {
 		panic(err)
+	}
+	if reportCol != nil {
+		recordReport(reportKey(cl, specs, reportCol), reportCol)
 	}
 	out := make([]measured, len(specs))
 	for i, pr := range runs {

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"dualpar/internal/cluster"
+	"dualpar/internal/obs"
+	"dualpar/internal/obs/analyze"
+)
+
+// reportRuns arms run-level time attribution on every experiment run. Set
+// once by SetReport before the suite starts (the worker pool reads it
+// concurrently).
+var reportRuns bool
+
+// SetReport makes every subsequent experiment run attach a collector and
+// analyze where its simulated time went; DrainReports returns the
+// accumulated attributions. Off by default: tracing every cell of a sweep
+// costs memory proportional to its span count.
+func SetReport(v bool) { reportRuns = v }
+
+// RunReport pairs one run's deterministic identity with its attribution.
+type RunReport struct {
+	Key    string
+	Report *analyze.Report
+}
+
+var (
+	reportMu   sync.Mutex
+	reportSink map[string]*analyze.Report
+)
+
+// reportKey names a run by the spec the harness can see — cluster seed plus
+// each program's identity, mode, placement, and start — and a fingerprint of
+// the recorded timeline itself. The spec alone is not unique (sweeps rerun
+// the same program with different workload internals or core configs), so
+// the span hash does the disambiguation: runs with equal keys recorded
+// byte-identical timelines and therefore interchangeable reports, keeping
+// DrainReports independent of which concurrent cell stored last.
+func reportKey(cl *cluster.Cluster, specs []runSpec, col *obs.Collector) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", cl.Config().Seed)
+	for _, sp := range specs {
+		fmt.Fprintf(&b, "|%s/%s/r%d/off%d/at%s",
+			sp.prog.Name(), sp.mode, sp.prog.Ranks(), sp.nodeOff, sp.startAt)
+	}
+	h := fnv.New64a()
+	for _, s := range col.Spans() {
+		fmt.Fprintf(h, "%d/%s/%s/%d/%d;", s.ID, s.Stage, s.Track, s.Start, s.End)
+	}
+	fmt.Fprintf(&b, "#%016x", h.Sum64())
+	return b.String()
+}
+
+// recordReport analyzes one finished run's collector into the sink.
+func recordReport(key string, col *obs.Collector) {
+	rep := analyze.FromCollector(col, analyze.Options{})
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	if reportSink == nil {
+		reportSink = make(map[string]*analyze.Report)
+	}
+	reportSink[key] = rep
+}
+
+// DrainReports returns all accumulated run reports sorted by key and clears
+// the sink. The order — and therefore any rendering of it — is independent
+// of sweep parallelism.
+func DrainReports() []RunReport {
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	out := make([]RunReport, 0, len(reportSink))
+	for k, r := range reportSink {
+		out = append(out, RunReport{Key: k, Report: r})
+	}
+	reportSink = nil
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dualpar/internal/check"
+	"dualpar/internal/disk"
 	"dualpar/internal/obs"
 	"dualpar/internal/sim"
 )
@@ -79,6 +80,7 @@ type Dispatcher struct {
 	busy    bool
 	track   string
 	obs     *obs.Collector
+	bd      disk.BreakdownReporter // non-nil when dev reports breakdowns
 
 	// Audit state (nil audit = off). auditPending mirrors the elevator's
 	// queued-request count from the outside; auditBytes sums sectors
@@ -92,6 +94,7 @@ type Dispatcher struct {
 // serves as the dispatcher's trace track.
 func NewDispatcher(k *sim.Kernel, name string, dev Device, alg Algorithm) *Dispatcher {
 	d := &Dispatcher{k: k, dev: dev, alg: alg, arrival: k.NewSignal(), track: name}
+	d.bd, _ = dev.(disk.BreakdownReporter)
 	k.Spawn(name, d.loop)
 	return d
 }
@@ -125,6 +128,16 @@ func (d *Dispatcher) Enqueue(r *Request) {
 	r.arrival = d.k.Now()
 	if r.done == nil {
 		r.done = d.k.NewSignal()
+	}
+	if d.obs.Enabled() {
+		// Queue-entry instant: the analyzer reconstructs block-layer queueing
+		// as [arrival, dispatch) from this plus the span's queue_ns arg.
+		args := []obs.Arg{obs.I64("lbn", r.LBN), obs.I64("sectors", r.Sectors),
+			obs.I64("origin", int64(r.Origin))}
+		if r.Obs.Traced() {
+			args = append(args, obs.I64("req", int64(r.Obs.ID)))
+		}
+		d.obs.Instant("disk.enqueue", d.track, r.arrival, args...)
 	}
 	if d.audit != nil {
 		before := d.alg.Pending()
@@ -183,9 +196,16 @@ func (d *Dispatcher) loop(p *sim.Proc) {
 			if r.Write {
 				rw = "write"
 			}
+			var bd disk.Breakdown
+			if d.bd != nil {
+				bd = d.bd.LastBreakdown()
+			}
 			d.obs.Span(r.Obs.ID, obs.StageDisk, d.track, start, p.Now(),
 				obs.I64("lbn", r.LBN), obs.I64("sectors", r.Sectors), obs.Str("rw", rw),
 				obs.I64("queue_us", int64((start-r.arrival)/time.Microsecond)),
+				obs.I64("queue_ns", int64(start-r.arrival)),
+				obs.I64("ovh_ns", int64(bd.Overhead)), obs.I64("seek_ns", int64(bd.Seek)),
+				obs.I64("rot_ns", int64(bd.Rotation)), obs.I64("xfer_ns", int64(bd.Transfer)),
 				obs.I64("origin", int64(r.Origin)))
 		}
 		d.lastEnd = r.End()

@@ -212,6 +212,14 @@ func (c *Cache) chunkRel(e ext.Extent) []struct {
 // bytes. It returns the missing file-space extents; a fully-satisfied Get
 // counts as a hit.
 func (c *Cache) Get(p *sim.Proc, fromNode int, file string, extents ...ext.Extent) (miss []ext.Extent) {
+	return c.GetTraced(p, fromNode, obs.Ctx{}, file, extents...)
+}
+
+// GetTraced is Get carrying the originating request's trace identity: a
+// traced context additionally records a StageCache span on the "cache"
+// track covering the lookup (home-node CPU plus wire time for remote hits).
+func (c *Cache) GetTraced(p *sim.Proc, fromNode int, rc obs.Ctx, file string, extents ...ext.Extent) (miss []ext.Extent) {
+	start := p.Now()
 	c.statGets++
 	now := p.Now()
 	var auditMiss int64
@@ -255,11 +263,22 @@ func (c *Cache) Get(p *sim.Proc, fromNode int, file string, extents ...ext.Exten
 	miss = ext.Merge(miss)
 	if len(miss) == 0 {
 		c.statHits++
-		c.obs.Instant("cache.hit", "cache", p.Now(),
-			obs.Str("file", file), obs.I64("bytes", ext.Total(extents)))
-	} else {
+		if c.obs.Enabled() {
+			c.obs.Instant("cache.hit", "cache", p.Now(),
+				obs.Str("file", file), obs.I64("bytes", ext.Total(extents)))
+		}
+	} else if c.obs.Enabled() {
 		c.obs.Instant("cache.miss", "cache", p.Now(),
 			obs.Str("file", file), obs.I64("missing", ext.Total(miss)))
+	}
+	if rc.Traced() {
+		result := "hit"
+		if len(miss) > 0 {
+			result = "miss"
+		}
+		c.obs.Span(rc.ID, obs.StageCache, "cache", start, p.Now(),
+			obs.Str("op", "get"), obs.Str("result", result),
+			obs.I64("bytes", ext.Total(extents)), obs.I64("missing", ext.Total(miss)))
 	}
 	return miss
 }
@@ -313,16 +332,29 @@ func (c *Cache) chargeTransfers(p *sim.Proc, fromNode int, perHome homeBytes, to
 // nodes). The caller is the CRM proc running on homeNode; extents homed
 // elsewhere cost a network transfer.
 func (c *Cache) PutClean(p *sim.Proc, fromNode int, file string, extents []ext.Extent) {
-	c.put(p, fromNode, file, extents, false)
+	c.put(p, fromNode, obs.Ctx{}, file, extents, false)
+}
+
+// PutCleanTraced is PutClean carrying the originating request's trace
+// identity; a traced context records a StageCache span for the insertion.
+func (c *Cache) PutCleanTraced(p *sim.Proc, fromNode int, rc obs.Ctx, file string, extents []ext.Extent) {
+	c.put(p, fromNode, rc, file, extents, false)
 }
 
 // PutDirty buffers written extents in the cache (data-driven writes) until
 // writeback drains them.
 func (c *Cache) PutDirty(p *sim.Proc, fromNode int, file string, extents []ext.Extent) {
-	c.put(p, fromNode, file, extents, true)
+	c.put(p, fromNode, obs.Ctx{}, file, extents, true)
 }
 
-func (c *Cache) put(p *sim.Proc, fromNode int, file string, extents []ext.Extent, dirty bool) {
+// PutDirtyTraced is PutDirty carrying the originating request's trace
+// identity; a traced context records a StageCache span for the insertion.
+func (c *Cache) PutDirtyTraced(p *sim.Proc, fromNode int, rc obs.Ctx, file string, extents []ext.Extent) {
+	c.put(p, fromNode, rc, file, extents, true)
+}
+
+func (c *Cache) put(p *sim.Proc, fromNode int, rc obs.Ctx, file string, extents []ext.Extent, dirty bool) {
+	start := p.Now()
 	now := p.Now()
 	var perHome homeBytes // bytes shipped to each home node
 	for _, e := range extents {
@@ -344,6 +376,14 @@ func (c *Cache) put(p *sim.Proc, fromNode int, file string, extents []ext.Extent
 		}
 	}
 	c.chargeTransfers(p, fromNode, perHome, true)
+	if rc.Traced() {
+		op := "put-clean"
+		if dirty {
+			op = "put-dirty"
+		}
+		c.obs.Span(rc.ID, obs.StageCache, "cache", start, p.Now(),
+			obs.Str("op", op), obs.I64("bytes", ext.Total(extents)))
+	}
 	c.enforceCapacity()
 	c.armSweeper()
 }

@@ -4,6 +4,8 @@
 package metrics
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -242,15 +244,36 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// WriteCSVTable emits the table as CSV.
+// WriteCSVTable emits the table as RFC-4180 CSV (cells containing commas,
+// quotes, or newlines are quoted).
 func (t *Table) WriteCSVTable(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, strings.Join(t.Header, ",")); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
 		return err
 	}
 	for _, r := range t.Rows {
-		if _, err := fmt.Fprintln(w, strings.Join(r, ",")); err != nil {
+		if err := cw.Write(r); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSONTable emits the table as {"header":[...],"rows":[[...],...]},
+// trailing-newline terminated. Rows is always an array (never null).
+func (t *Table) WriteJSONTable(w io.Writer) error {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	header := t.Header
+	if header == nil {
+		header = []string{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{header, rows})
 }

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b", "22")
+	got := tab.String()
+	want := "name   value\n-----  -----\nalpha  1    \nb      22   \n"
+	if got != want {
+		t.Errorf("String():\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestWriteCSVTable(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.AddRow("plain", "1")
+	tab.AddRow("with,comma", "2")
+	tab.AddRow("with \"quote\"", "3")
+	var buf bytes.Buffer
+	if err := tab.WriteCSVTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\nplain,1\n\"with,comma\",2\n\"with \"\"quote\"\"\",3\n"
+	if buf.String() != want {
+		t.Errorf("csv:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestWriteJSONTable(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tab.WriteJSONTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Header) != 2 || doc.Header[0] != "a" {
+		t.Errorf("header = %v", doc.Header)
+	}
+	if len(doc.Rows) != 1 || doc.Rows[0][1] != "2" {
+		t.Errorf("rows = %v", doc.Rows)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("JSON output not newline-terminated")
+	}
+}
+
+// TestWriteJSONTableEmpty: an empty table must still emit arrays, not null —
+// downstream consumers index header/rows unconditionally.
+func TestWriteJSONTableEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Table{}).WriteJSONTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(buf.String())
+	if got != `{"header":[],"rows":[]}` {
+		t.Errorf("empty table = %s", got)
+	}
+}
+
+// TestCSVDeterminism: two renders of the same table are byte-identical.
+func TestCSVDeterminism(t *testing.T) {
+	tab := &Table{Header: []string{"x"}}
+	tab.AddRow("y")
+	var a, b bytes.Buffer
+	if err := tab.WriteCSVTable(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.WriteCSVTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("CSV render not deterministic")
+	}
+}

@@ -1,0 +1,276 @@
+// Package analyze is the time-attribution engine over obs traces: it
+// consumes a finished run's spans (live from an obs.Collector, or parsed
+// back from a saved Chrome trace-event JSON file) and explains where each
+// request's wall time went.
+//
+// Three products (DESIGN §13):
+//
+//   - Phase attribution: every nanosecond of every traced request's span is
+//     assigned to exactly one phase — compute, suspend, cache, network,
+//     queue, server, overhead, seek, rotation, or transfer — by a
+//     deepest-stage-wins sweep over the request's child spans. Because the
+//     sweep tiles the request interval, the phases sum to the request span
+//     exactly; Report.MaxResidual records the worst deviation (always 0 in
+//     integer virtual time) as a conservation check.
+//
+//   - Per-server utilization timelines: virtual-time-bucketed busy/seek/
+//     rotation/transfer/idle series per data server (from StageDisk spans,
+//     which include untraced background work like flusher writebacks),
+//     plus a load-imbalance index (max/mean busy) and a straggler ranking.
+//
+//   - Critical-path extraction: the per-request phase segments, merged into
+//     a chain of (phase, track) links; the longest requests' chains show
+//     which stages actually gated end-to-end time.
+//
+// All outputs are deterministic: iteration orders are sorted, and inputs
+// derive only from virtual time.
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dualpar/internal/obs"
+)
+
+// Options tunes an analysis.
+type Options struct {
+	// Buckets is the number of virtual-time buckets per server utilization
+	// timeline (default 20).
+	Buckets int
+	// TopPaths is how many longest-request critical paths to keep
+	// (default 3).
+	TopPaths int
+}
+
+func (o Options) buckets() int {
+	if o.Buckets <= 0 {
+		return 20
+	}
+	return o.Buckets
+}
+
+func (o Options) topPaths() int {
+	if o.TopPaths <= 0 {
+		return 3
+	}
+	return o.TopPaths
+}
+
+// Report is one analysis result.
+type Report struct {
+	// Requests is the number of traced requests attributed.
+	Requests int `json:"requests"`
+	// TotalSpan is the summed duration of all request spans.
+	TotalSpan time.Duration `json:"total_span_ns"`
+	// Phases aggregates attributed time per phase across all requests.
+	Phases map[Phase]time.Duration `json:"phases_ns"`
+	// ByVerb aggregates per request verb (the request span's "verb" arg;
+	// requests without one group under "mpi-io").
+	ByVerb map[string]map[Phase]time.Duration `json:"by_verb_ns"`
+	// MaxResidual is the conservation check: the largest absolute
+	// difference between a request's span and the sum of its phases.
+	MaxResidual time.Duration `json:"max_residual_ns"`
+	// Servers holds per-data-server utilization, ordered by name.
+	Servers []ServerUtil `json:"servers"`
+	// Horizon is the analysis end time (latest span end).
+	Horizon time.Duration `json:"horizon_ns"`
+	// BucketDur is the utilization bucket width.
+	BucketDur time.Duration `json:"bucket_ns"`
+	// Imbalance is max/mean busy time across servers (1.0 = perfectly
+	// balanced, 0 if no server was ever busy).
+	Imbalance float64 `json:"imbalance"`
+	// Stragglers ranks server names by busy time, busiest first.
+	Stragglers []string `json:"stragglers"`
+	// CriticalPaths holds the longest requests' gating chains.
+	CriticalPaths []RequestAttribution `json:"critical_paths"`
+}
+
+// Conserved reports whether phase attribution summed exactly to every
+// request's span duration.
+func (r *Report) Conserved() bool { return r.MaxResidual == 0 }
+
+// RequestAttribution is one request's phase decomposition and gating chain.
+type RequestAttribution struct {
+	ID     obs.RequestID           `json:"id"`
+	Track  string                  `json:"track"`
+	Verb   string                  `json:"verb"`
+	Start  time.Duration           `json:"start_ns"`
+	End    time.Duration           `json:"end_ns"`
+	Phases map[Phase]time.Duration `json:"phases_ns"`
+	// Path is the request's timeline tiled into phase segments (merged when
+	// adjacent segments share phase and track) — the dependency chain that
+	// gated the request end to end.
+	Path []PathSegment `json:"path"`
+}
+
+// Dur is the request's end-to-end latency.
+func (a RequestAttribution) Dur() time.Duration { return a.End - a.Start }
+
+// PathSegment is one link of a request's gating chain.
+type PathSegment struct {
+	Phase Phase         `json:"phase"`
+	Track string        `json:"track"`
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+}
+
+// Dur is the segment's length.
+func (s PathSegment) Dur() time.Duration { return s.End - s.Start }
+
+// ServerUtil is one data server's utilization summary and timeline.
+type ServerUtil struct {
+	Name     string        `json:"name"`
+	Spans    int           `json:"spans"`
+	Busy     time.Duration `json:"busy_ns"`
+	Overhead time.Duration `json:"overhead_ns"`
+	Seek     time.Duration `json:"seek_ns"`
+	Rotation time.Duration `json:"rotation_ns"`
+	Transfer time.Duration `json:"transfer_ns"`
+	Idle     time.Duration `json:"idle_ns"`
+	// Util is Busy over the analysis horizon.
+	Util float64 `json:"util"`
+	// Timeline is the bucketed busy decomposition.
+	Timeline []UtilBucket `json:"timeline"`
+}
+
+// UtilBucket is one virtual-time bucket of a server's utilization series.
+type UtilBucket struct {
+	Start    time.Duration `json:"start_ns"`
+	Busy     time.Duration `json:"busy_ns"`
+	Seek     time.Duration `json:"seek_ns"`
+	Rotation time.Duration `json:"rotation_ns"`
+	Transfer time.Duration `json:"transfer_ns"`
+	Idle     time.Duration `json:"idle_ns"`
+}
+
+// FromCollector analyzes a finished run's collector.
+func FromCollector(c *obs.Collector, opts Options) *Report {
+	return Analyze(c.Spans(), opts)
+}
+
+// Analyze attributes every traced request's time and builds the utilization
+// and critical-path products from the given spans.
+func Analyze(spans []obs.Span, opts Options) *Report {
+	rep := &Report{
+		Phases: make(map[Phase]time.Duration),
+		ByVerb: make(map[string]map[Phase]time.Duration),
+	}
+	for _, s := range spans {
+		if s.End > rep.Horizon {
+			rep.Horizon = s.End
+		}
+	}
+
+	attrs := attributeRequests(spans)
+	rep.Requests = len(attrs)
+	for _, a := range attrs {
+		rep.TotalSpan += a.Dur()
+		var sum time.Duration
+		for ph, d := range a.Phases {
+			rep.Phases[ph] += d
+			sum += d
+		}
+		verb := a.Verb
+		if verb == "" {
+			verb = "mpi-io"
+		}
+		vb := rep.ByVerb[verb]
+		if vb == nil {
+			vb = make(map[Phase]time.Duration)
+			rep.ByVerb[verb] = vb
+		}
+		for ph, d := range a.Phases {
+			vb[ph] += d
+		}
+		res := a.Dur() - sum
+		if res < 0 {
+			res = -res
+		}
+		if res > rep.MaxResidual {
+			rep.MaxResidual = res
+		}
+	}
+
+	rep.Servers, rep.BucketDur = serverUtilization(spans, rep.Horizon, opts.buckets())
+	rep.Imbalance, rep.Stragglers = imbalance(rep.Servers)
+	rep.CriticalPaths = topPaths(attrs, opts.topPaths())
+	return rep
+}
+
+// imbalance computes max/mean busy and the straggler ranking (busy
+// descending, name ascending for ties).
+func imbalance(servers []ServerUtil) (float64, []string) {
+	if len(servers) == 0 {
+		return 0, nil
+	}
+	var sum, max time.Duration
+	for _, s := range servers {
+		sum += s.Busy
+		if s.Busy > max {
+			max = s.Busy
+		}
+	}
+	ranked := append([]ServerUtil(nil), servers...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Busy != ranked[j].Busy {
+			return ranked[i].Busy > ranked[j].Busy
+		}
+		return ranked[i].Name < ranked[j].Name
+	})
+	names := make([]string, len(ranked))
+	for i, s := range ranked {
+		names[i] = s.Name
+	}
+	if sum == 0 {
+		return 0, names
+	}
+	mean := float64(sum) / float64(len(servers))
+	return float64(max) / mean, names
+}
+
+// topPaths keeps the k longest requests, longest first (ties broken by
+// request id for determinism).
+func topPaths(attrs []RequestAttribution, k int) []RequestAttribution {
+	ranked := append([]RequestAttribution(nil), attrs...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Dur() != ranked[j].Dur() {
+			return ranked[i].Dur() > ranked[j].Dur()
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}
+
+// RegisterMetrics feeds the report into a metrics registry: one histogram
+// per phase ("phase.<name>", per-request seconds), plus analyzer gauges —
+// so -stats summaries pick the attribution up.
+func (r *Report) RegisterMetrics(reg *obs.Registry, attrs []RequestAttribution) {
+	if reg == nil {
+		return
+	}
+	for _, a := range attrs {
+		for _, ph := range AllPhases {
+			if d, ok := a.Phases[ph]; ok && d > 0 {
+				reg.Histogram("phase." + string(ph)).Observe(d.Seconds())
+			}
+		}
+	}
+	reg.Gauge("analyze.requests").Set(float64(r.Requests))
+	reg.Gauge("analyze.imbalance").Set(r.Imbalance)
+	reg.Gauge("analyze.residual_ns").Set(float64(r.MaxResidual))
+}
+
+// AttributeAll exposes the per-request attribution (used for metrics
+// registration and tests).
+func AttributeAll(spans []obs.Span) []RequestAttribution {
+	return attributeRequests(spans)
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds()*1e3) // milliseconds
+}

@@ -1,0 +1,259 @@
+package analyze
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dualpar/internal/obs"
+)
+
+func ms(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// span is a test shorthand for building obs spans.
+func span(id int64, stage obs.Stage, track string, lo, hi time.Duration, args ...obs.Arg) obs.Span {
+	return obs.Span{ID: obs.RequestID(id), Stage: stage, Track: track, Start: lo, End: hi, Args: args}
+}
+
+// TestAttributionSweep checks the deepest-wins tiling on a hand-built
+// request: net covers [10,90], server [20,80] (with 5ms queue), disk [40,70]
+// with a full breakdown and a 10ms queue; the gaps at the edges are compute.
+func TestAttributionSweep(t *testing.T) {
+	spans := []obs.Span{
+		span(1, obs.StageRequest, "prog0/rank0", ms(0), ms(100), obs.Str("verb", "dd-read")),
+		span(1, obs.StageNet, "net", ms(10), ms(90)),
+		span(1, obs.StageServer, "server0/worker0", ms(20), ms(80), obs.I64("queue_ns", int64(ms(5)))),
+		span(1, obs.StageDisk, "server0/dispatch", ms(40), ms(70),
+			obs.I64("queue_ns", int64(ms(10))),
+			obs.I64("ovh_ns", int64(ms(2))),
+			obs.I64("seek_ns", int64(ms(8))),
+			obs.I64("rot_ns", int64(ms(5))),
+			obs.I64("xfer_ns", int64(ms(15)))),
+	}
+	attrs := AttributeAll(spans)
+	if len(attrs) != 1 {
+		t.Fatalf("attrs = %d, want 1", len(attrs))
+	}
+	a := attrs[0]
+	want := map[Phase]time.Duration{
+		PhaseCompute:  ms(20), // [0,10) + [90,100)
+		PhaseNetwork:  ms(10), // [10,15) + [85,90)... see below
+		PhaseQueue:    ms(15), // server queue [15,20) + disk queue [30,40)
+		PhaseServer:   ms(25), // [20,30) + [70,80) minus disk queue overlap
+		PhaseOverhead: ms(2),
+		PhaseSeek:     ms(8),
+		PhaseRotation: ms(5),
+		PhaseTransfer: ms(15),
+	}
+	// Derive the exact expectation: server queue synthesized [15,20] wins
+	// over net; disk queue [30,40] wins over server; disk sub-phases tile
+	// [40,70]. Remaining server time: [20,30)+[70,80) = 20ms. Net keeps
+	// [10,15)+[80,90) = 15ms.
+	want[PhaseServer] = ms(20)
+	want[PhaseNetwork] = ms(15)
+	var sum time.Duration
+	for ph, d := range a.Phases {
+		sum += d
+		if want[ph] != d {
+			t.Errorf("phase %s = %v, want %v", ph, d, want[ph])
+		}
+	}
+	if sum != a.Dur() {
+		t.Errorf("phases sum %v != request duration %v", sum, a.Dur())
+	}
+	if a.Verb != "dd-read" {
+		t.Errorf("verb = %q", a.Verb)
+	}
+	// Path must tile [0,100] contiguously.
+	if a.Path[0].Start != ms(0) || a.Path[len(a.Path)-1].End != ms(100) {
+		t.Errorf("path does not tile the request: %+v", a.Path)
+	}
+	for i := 1; i < len(a.Path); i++ {
+		if a.Path[i].Start != a.Path[i-1].End {
+			t.Errorf("path gap between segment %d and %d", i-1, i)
+		}
+	}
+}
+
+// TestDiskFallback: a disk span with no breakdown args counts wholly as
+// transfer (foreign-trace compatibility).
+func TestDiskFallback(t *testing.T) {
+	spans := []obs.Span{
+		span(1, obs.StageRequest, "prog0/rank0", ms(0), ms(10)),
+		span(1, obs.StageDisk, "server0/dispatch", ms(2), ms(8)),
+	}
+	a := AttributeAll(spans)[0]
+	if a.Phases[PhaseTransfer] != ms(6) {
+		t.Errorf("transfer = %v, want 6ms", a.Phases[PhaseTransfer])
+	}
+	if a.Phases[PhaseCompute] != ms(4) {
+		t.Errorf("compute = %v, want 4ms", a.Phases[PhaseCompute])
+	}
+}
+
+// TestBreakdownOverflow: breakdown args longer than the span clip at the
+// span end; a short breakdown leaves the tail as overhead. Conservation
+// holds either way.
+func TestBreakdownOverflow(t *testing.T) {
+	spans := []obs.Span{
+		span(1, obs.StageRequest, "prog0/rank0", ms(0), ms(10)),
+		// Breakdown claims 20ms inside a 6ms window.
+		span(1, obs.StageDisk, "server0/dispatch", ms(2), ms(8),
+			obs.I64("ovh_ns", int64(ms(1))), obs.I64("xfer_ns", int64(ms(19)))),
+		span(2, obs.StageRequest, "prog0/rank1", ms(0), ms(10)),
+		// Breakdown explains only 2 of 6ms; the tail is overhead.
+		span(2, obs.StageDisk, "server0/dispatch", ms(2), ms(8),
+			obs.I64("xfer_ns", int64(ms(2)))),
+	}
+	attrs := AttributeAll(spans)
+	for _, a := range attrs {
+		var sum time.Duration
+		for _, d := range a.Phases {
+			sum += d
+		}
+		if sum != a.Dur() {
+			t.Errorf("req %d: phases sum %v != duration %v", a.ID, sum, a.Dur())
+		}
+	}
+	if got := attrs[0].Phases[PhaseTransfer]; got != ms(5) {
+		t.Errorf("clipped transfer = %v, want 5ms", got)
+	}
+	if got := attrs[1].Phases[PhaseOverhead]; got != ms(4) {
+		t.Errorf("tail overhead = %v, want 4ms", got)
+	}
+}
+
+// TestSuspendAndCache: suspension and cache phases layer under deeper
+// stages but above compute.
+func TestSuspendAndCache(t *testing.T) {
+	spans := []obs.Span{
+		span(1, obs.StageRequest, "prog0/rank0", ms(0), ms(100), obs.Str("verb", "dd-read")),
+		span(1, obs.StageSuspend, "prog0/rank0", ms(10), ms(90)),
+		span(1, obs.StageCache, "cache", ms(0), ms(10)),
+		span(1, obs.StageNet, "net", ms(30), ms(50)),
+	}
+	a := AttributeAll(spans)[0]
+	if a.Phases[PhaseCache] != ms(10) {
+		t.Errorf("cache = %v", a.Phases[PhaseCache])
+	}
+	if a.Phases[PhaseNetwork] != ms(20) {
+		t.Errorf("network = %v", a.Phases[PhaseNetwork])
+	}
+	if a.Phases[PhaseSuspend] != ms(60) {
+		t.Errorf("suspend = %v, want 60ms (80 - 20 shadowed by net)", a.Phases[PhaseSuspend])
+	}
+	if a.Phases[PhaseCompute] != ms(10) {
+		t.Errorf("compute = %v, want 10ms", a.Phases[PhaseCompute])
+	}
+}
+
+// TestServerUtilization checks busy/idle accounting and bucket spreading.
+func TestServerUtilization(t *testing.T) {
+	spans := []obs.Span{
+		span(0, obs.StageDisk, "server0/dispatch", ms(0), ms(40),
+			obs.I64("seek_ns", int64(ms(10))), obs.I64("xfer_ns", int64(ms(30)))),
+		span(1, obs.StageDisk, "server1/dispatch", ms(60), ms(100)),
+		span(1, obs.StageRequest, "prog0/rank0", ms(0), ms(100)),
+	}
+	servers, bucketDur := serverUtilization(spans, ms(100), 4)
+	if len(servers) != 2 {
+		t.Fatalf("servers = %d", len(servers))
+	}
+	if bucketDur != ms(25) {
+		t.Errorf("bucketDur = %v", bucketDur)
+	}
+	s0 := servers[0]
+	if s0.Name != "server0" || s0.Busy != ms(40) || s0.Idle != ms(60) {
+		t.Errorf("server0 = %+v", s0)
+	}
+	if s0.Seek != ms(10) || s0.Transfer != ms(30) {
+		t.Errorf("server0 breakdown: seek %v xfer %v", s0.Seek, s0.Transfer)
+	}
+	// Bucket 0 [0,25): 10ms seek + 15ms transfer. Bucket 1 [25,50): 15ms
+	// transfer. Buckets 2,3 idle.
+	tl := s0.Timeline
+	if tl[0].Busy != ms(25) || tl[0].Seek != ms(10) || tl[0].Transfer != ms(15) {
+		t.Errorf("bucket0 = %+v", tl[0])
+	}
+	if tl[1].Busy != ms(15) || tl[1].Idle != ms(10) {
+		t.Errorf("bucket1 = %+v", tl[1])
+	}
+	if tl[3].Busy != 0 || tl[3].Idle != ms(25) {
+		t.Errorf("bucket3 = %+v", tl[3])
+	}
+	// server1: untraced-vs-traced does not matter for utilization.
+	if servers[1].Busy != ms(40) {
+		t.Errorf("server1 busy = %v", servers[1].Busy)
+	}
+}
+
+// TestImbalanceAndStragglers checks the ranking and the index.
+func TestImbalanceAndStragglers(t *testing.T) {
+	servers := []ServerUtil{
+		{Name: "server0", Busy: ms(30)},
+		{Name: "server1", Busy: ms(90)},
+		{Name: "server2", Busy: ms(30)},
+	}
+	idx, ranked := imbalance(servers)
+	if want := 1.8; idx != want { // 90 / mean(50)
+		t.Errorf("imbalance = %v, want %v", idx, want)
+	}
+	if ranked[0] != "server1" || ranked[1] != "server0" || ranked[2] != "server2" {
+		t.Errorf("ranking = %v", ranked)
+	}
+}
+
+// TestRenderersDeterministic renders the same report twice in each format
+// and checks byte equality plus basic shape.
+func TestRenderersDeterministic(t *testing.T) {
+	spans := []obs.Span{
+		span(1, obs.StageRequest, "prog0/rank0", ms(0), ms(100), obs.Str("verb", "dd-read")),
+		span(1, obs.StageNet, "net", ms(10), ms(90)),
+		span(1, obs.StageDisk, "server0/dispatch", ms(40), ms(70),
+			obs.I64("xfer_ns", int64(ms(30)))),
+		span(2, obs.StageRequest, "prog0/rank1", ms(0), ms(50), obs.Str("verb", "s2-read")),
+	}
+	rep := Analyze(spans, Options{Buckets: 4, TopPaths: 2})
+	if !rep.Conserved() {
+		t.Fatalf("synthetic report not conserved: residual %v", rep.MaxResidual)
+	}
+	render := func(f func(*Report, *bytes.Buffer)) string {
+		var a, b bytes.Buffer
+		f(rep, &a)
+		f(rep, &b)
+		if a.String() != b.String() {
+			t.Errorf("render not deterministic")
+		}
+		return a.String()
+	}
+	text := render(func(r *Report, w *bytes.Buffer) { _ = r.RenderText(w) })
+	for _, want := range []string{"time attribution", "conservation: exact", "server0", "critical paths"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+	jsonOut := render(func(r *Report, w *bytes.Buffer) { _ = r.RenderJSON(w) })
+	if !strings.Contains(jsonOut, "\"requests\": 2") {
+		t.Errorf("json report missing request count:\n%s", jsonOut)
+	}
+	csvOut := render(func(r *Report, w *bytes.Buffer) { _ = r.RenderCSV(w) })
+	for _, want := range []string{"# phases", "# servers", "# critical_path"} {
+		if !strings.Contains(csvOut, want) {
+			t.Errorf("csv report missing section %q", want)
+		}
+	}
+}
+
+// TestTopPathsTieBreak: equal durations rank by request id.
+func TestTopPathsTieBreak(t *testing.T) {
+	attrs := []RequestAttribution{
+		{ID: 3, Start: ms(0), End: ms(10)},
+		{ID: 1, Start: ms(5), End: ms(15)},
+		{ID: 2, Start: ms(0), End: ms(20)},
+	}
+	top := topPaths(attrs, 2)
+	if top[0].ID != 2 || top[1].ID != 1 {
+		t.Errorf("topPaths order = %d,%d; want 2,1", top[0].ID, top[1].ID)
+	}
+}

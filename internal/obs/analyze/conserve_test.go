@@ -1,0 +1,120 @@
+package analyze_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"dualpar/internal/cluster"
+	"dualpar/internal/core"
+	"dualpar/internal/obs"
+	"dualpar/internal/obs/analyze"
+	"dualpar/internal/workloads"
+)
+
+// runMode executes one workload under the given mode with a collector
+// attached and returns the collector.
+func runMode(t *testing.T, prog workloads.Program, mode core.Mode, seed int64) *obs.Collector {
+	t.Helper()
+	col := obs.NewCollector()
+	ccfg := cluster.DefaultConfig()
+	ccfg.Seed = seed
+	ccfg.Obs = col
+	cl := cluster.New(ccfg)
+	dcfg := core.DefaultConfig()
+	dcfg.SlotEvery = 100 * time.Millisecond
+	runner := core.NewRunner(cl, dcfg)
+	runner.Add(prog, mode, core.AddOptions{RanksPerNode: 8})
+	if !runner.Run(time.Hour) {
+		t.Fatal("simulation did not finish")
+	}
+	return col
+}
+
+// TestConservationAllModes is the attribution invariant: under every
+// execution mode, every traced request's phase durations sum exactly to its
+// span — no simulated nanosecond is lost or double-counted.
+func TestConservationAllModes(t *testing.T) {
+	modes := []struct {
+		name string
+		mode core.Mode
+	}{
+		{"vanilla", core.ModeVanilla},
+		{"collective", core.ModeCollective},
+		{"strategy2", core.ModeStrategy2},
+		{"dualpar", core.ModeDualPar},
+		{"datadriven", core.ModeDataDriven},
+	}
+	for _, tc := range modes {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			col := runMode(t, workloads.DefaultNoncontig(), tc.mode, 11)
+			rep := analyze.FromCollector(col, analyze.Options{})
+			if rep.Requests == 0 {
+				t.Fatal("no requests attributed")
+			}
+			if !rep.Conserved() {
+				t.Fatalf("attribution not conserved: max residual %v over %d requests",
+					rep.MaxResidual, rep.Requests)
+			}
+			// Per-request re-check, independent of the report's bookkeeping.
+			for _, a := range analyze.AttributeAll(col.Spans()) {
+				var sum time.Duration
+				for _, d := range a.Phases {
+					sum += d
+				}
+				if sum != a.Dur() {
+					t.Errorf("req %d (%s): phases sum %v != span %v", a.ID, a.Verb, sum, a.Dur())
+				}
+			}
+			if len(rep.Servers) == 0 {
+				t.Error("no server utilization extracted")
+			}
+			if len(rep.CriticalPaths) == 0 {
+				t.Error("no critical paths extracted")
+			}
+			for _, cp := range rep.CriticalPaths {
+				if len(cp.Path) == 0 {
+					t.Errorf("req %d: empty critical path", cp.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceRoundTrip saves a real run's trace and parses it back: the
+// analyzer must produce the identical report from the file as from the live
+// collector (exact virtual-time recovery from the µs floats).
+func TestTraceRoundTrip(t *testing.T) {
+	col := runMode(t, workloads.DefaultNoncontig(), core.ModeDualPar, 7)
+	var buf bytes.Buffer
+	if err := col.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := analyze.ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := analyze.FromCollector(col, analyze.Options{})
+	fromFile := analyze.Analyze(parsed, analyze.Options{})
+	if live.Requests != fromFile.Requests {
+		t.Fatalf("requests: live %d, parsed %d", live.Requests, fromFile.Requests)
+	}
+	if !reflect.DeepEqual(live.Phases, fromFile.Phases) {
+		t.Errorf("phase totals diverge:\nlive:   %v\nparsed: %v", live.Phases, fromFile.Phases)
+	}
+	if !fromFile.Conserved() {
+		t.Errorf("parsed report not conserved: residual %v", fromFile.MaxResidual)
+	}
+	var a, b bytes.Buffer
+	if err := live.RenderText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fromFile.RenderText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("text reports diverge between live and parsed trace")
+	}
+}

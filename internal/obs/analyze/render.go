@@ -1,0 +1,200 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dualpar/internal/metrics"
+)
+
+// phaseTable builds the aggregate phase-attribution table, one row per phase
+// in canonical order plus a total row; shares are of the summed request span.
+func (r *Report) phaseTable() *metrics.Table {
+	t := &metrics.Table{Header: []string{"phase", "time_ms", "share"}}
+	var total float64
+	for _, ph := range AllPhases {
+		total += r.Phases[ph].Seconds()
+	}
+	for _, ph := range AllPhases {
+		d := r.Phases[ph]
+		if d == 0 {
+			continue
+		}
+		share := 0.0
+		if total > 0 {
+			share = d.Seconds() / total
+		}
+		t.AddRow(string(ph), fmtDur(d), fmt.Sprintf("%.1f%%", share*100))
+	}
+	t.AddRow("total", fmtDur(r.TotalSpan), "100.0%")
+	return t
+}
+
+// verbTable builds the per-verb phase matrix: one row per verb (sorted), one
+// column per phase that is nonzero anywhere.
+func (r *Report) verbTable() *metrics.Table {
+	verbs := make([]string, 0, len(r.ByVerb))
+	for v := range r.ByVerb {
+		verbs = append(verbs, v)
+	}
+	sort.Strings(verbs)
+	var cols []Phase
+	for _, ph := range AllPhases {
+		for _, v := range verbs {
+			if r.ByVerb[v][ph] > 0 {
+				cols = append(cols, ph)
+				break
+			}
+		}
+	}
+	header := []string{"verb"}
+	for _, ph := range cols {
+		header = append(header, string(ph)+"_ms")
+	}
+	t := &metrics.Table{Header: header}
+	for _, v := range verbs {
+		row := []string{v}
+		for _, ph := range cols {
+			row = append(row, fmtDur(r.ByVerb[v][ph]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// serverTable builds the per-server utilization summary.
+func (r *Report) serverTable() *metrics.Table {
+	t := &metrics.Table{Header: []string{
+		"server", "spans", "busy_ms", "ovh_ms", "seek_ms", "rot_ms", "xfer_ms", "idle_ms", "util",
+	}}
+	for _, s := range r.Servers {
+		t.AddRow(s.Name, fmt.Sprintf("%d", s.Spans), fmtDur(s.Busy),
+			fmtDur(s.Overhead), fmtDur(s.Seek), fmtDur(s.Rotation),
+			fmtDur(s.Transfer), fmtDur(s.Idle), fmt.Sprintf("%.3f", s.Util))
+	}
+	return t
+}
+
+// timelineTable builds the bucketed utilization series for all servers.
+func (r *Report) timelineTable() *metrics.Table {
+	t := &metrics.Table{Header: []string{
+		"server", "bucket_start_ms", "busy_ms", "seek_ms", "rot_ms", "xfer_ms", "idle_ms",
+	}}
+	for _, s := range r.Servers {
+		for _, b := range s.Timeline {
+			t.AddRow(s.Name, fmtDur(b.Start), fmtDur(b.Busy), fmtDur(b.Seek),
+				fmtDur(b.Rotation), fmtDur(b.Transfer), fmtDur(b.Idle))
+		}
+	}
+	return t
+}
+
+// pathTable builds the critical-path segment listing.
+func (r *Report) pathTable() *metrics.Table {
+	t := &metrics.Table{Header: []string{
+		"req", "verb", "dur_ms", "seg", "phase", "track", "start_ms", "len_ms",
+	}}
+	for _, a := range r.CriticalPaths {
+		verb := a.Verb
+		if verb == "" {
+			verb = "mpi-io"
+		}
+		for i, seg := range a.Path {
+			t.AddRow(fmt.Sprintf("%d", a.ID), verb, fmtDur(a.Dur()),
+				fmt.Sprintf("%d", i), string(seg.Phase), seg.Track,
+				fmtDur(seg.Start), fmtDur(seg.Dur()))
+		}
+	}
+	return t
+}
+
+// utilBar renders a proportional sparkline for one server's busy series.
+func utilBar(s ServerUtil) string {
+	const levels = " .:-=+*#%@"
+	var b strings.Builder
+	for _, bk := range s.Timeline {
+		width := bk.Busy + bk.Idle
+		frac := 0.0
+		if width > 0 {
+			frac = float64(bk.Busy) / float64(width)
+		}
+		idx := int(frac * float64(len(levels)-1))
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteByte(levels[idx])
+	}
+	return b.String()
+}
+
+// RenderText writes the full human-readable report.
+func (r *Report) RenderText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== time attribution (%d requests, %s total) ===\n",
+		r.Requests, fmtDur(r.TotalSpan)+"ms")
+	if r.Conserved() {
+		b.WriteString("conservation: exact (residual 0)\n")
+	} else {
+		fmt.Fprintf(&b, "conservation: VIOLATED (max residual %dns)\n", int64(r.MaxResidual))
+	}
+	b.WriteString("\n-- phases --\n")
+	b.WriteString(r.phaseTable().String())
+	if len(r.ByVerb) > 1 {
+		b.WriteString("\n-- by verb --\n")
+		b.WriteString(r.verbTable().String())
+	}
+	if len(r.Servers) > 0 {
+		fmt.Fprintf(&b, "\n-- servers (imbalance %.3f, bucket %sms) --\n",
+			r.Imbalance, fmtDur(r.BucketDur))
+		b.WriteString(r.serverTable().String())
+		b.WriteString("\nutilization timeline (busy fraction per bucket):\n")
+		for _, s := range r.Servers {
+			fmt.Fprintf(&b, "  %-16s |%s|\n", s.Name, utilBar(s))
+		}
+	}
+	if len(r.CriticalPaths) > 0 {
+		b.WriteString("\n-- critical paths (longest requests) --\n")
+		b.WriteString(r.pathTable().String())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderJSON writes the report as one indented JSON document.
+func (r *Report) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RenderCSV writes the report's tables as sectioned CSV ("# name" comment
+// lines separate the sections).
+func (r *Report) RenderCSV(w io.Writer) error {
+	sections := []struct {
+		name string
+		tab  *metrics.Table
+	}{
+		{"phases", r.phaseTable()},
+		{"by_verb", r.verbTable()},
+		{"servers", r.serverTable()},
+		{"timeline", r.timelineTable()},
+		{"critical_path", r.pathTable()},
+	}
+	for i, sec := range sections {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# %s\n", sec.name); err != nil {
+			return err
+		}
+		if err := sec.tab.WriteCSVTable(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// Micro-benchmarks of the disabled-collector fast path. Every
+// instrumentation site in the simulator is either a nil-safe method call or
+// an Enabled()/Traced() guard; with tracing off those must cost a nil check
+// and nothing else — zero allocs/op is gated in CI. The Enabled variants
+// document what tracing costs when it is on (allocations expected: span
+// storage and formatted args).
+
+// BenchmarkObsDisabledSpan mirrors a guarded recording site (iosched,
+// memcache): with a nil collector the guard short-circuits before any arg
+// is formatted.
+func BenchmarkObsDisabledSpan(b *testing.B) {
+	b.ReportAllocs()
+	var c *Collector
+	start := time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		if c.Enabled() {
+			c.Span(1, StageDisk, "server0/dispatch", start, start+time.Millisecond,
+				I64("lbn", int64(i)), I64("sectors", 8))
+		}
+	}
+}
+
+// BenchmarkObsDisabledRequest mirrors the request-origination pattern
+// (core.rankRequest): StartRequest behind an Enabled() guard, a Traced()
+// check on the zero Ctx, and the guarded span close.
+func BenchmarkObsDisabledRequest(b *testing.B) {
+	b.ReportAllocs()
+	var c *Collector
+	for i := 0; i < b.N; i++ {
+		var rc Ctx
+		if c.Enabled() {
+			rc = c.StartRequest("prog0/rank0")
+		}
+		if rc.Traced() {
+			c.Span(rc.ID, StageRequest, rc.Track, 0, time.Millisecond,
+				Str("verb", "dd-read"))
+		}
+	}
+}
+
+// BenchmarkObsDisabledInstant mirrors an unguarded nil-safe instant call
+// with no args (control-plane sites like cycle transitions pass literals).
+func BenchmarkObsDisabledInstant(b *testing.B) {
+	b.ReportAllocs()
+	var c *Collector
+	for i := 0; i < b.N; i++ {
+		c.Instant("cycle.fill", "prog0/ctrl", time.Duration(i))
+	}
+}
+
+// BenchmarkObsEnabledSpan is the enabled counterpart (not part of the
+// zero-alloc gate): per-span cost with two formatted args.
+func BenchmarkObsEnabledSpan(b *testing.B) {
+	b.ReportAllocs()
+	c := NewCollector()
+	start := time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		c.Span(1, StageDisk, "server0/dispatch", start, start+time.Millisecond,
+			I64("lbn", int64(i)), I64("sectors", 8))
+	}
+}

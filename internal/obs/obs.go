@@ -49,8 +49,15 @@ const (
 	// request CPU, local store service, response send.
 	StageServer Stage = "server"
 	// StageDisk covers one block-layer dispatch: the device positioning and
-	// transfer time of one access (queue wait is carried as an arg).
+	// transfer time of one access (queue wait is carried as an arg, and the
+	// positioning/transfer split as ovh_ns/seek_ns/rot_ns/xfer_ns args).
 	StageDisk Stage = "disk"
+	// StageCache covers one global-cache operation (get or put) against the
+	// distributed memory cache, including its home-node CPU and wire time.
+	StageCache Stage = "cache"
+	// StageSuspend covers a rank's suspension window inside a data-driven
+	// cycle: from joining the cycle until the controller resumes it.
+	StageSuspend Stage = "suspend"
 )
 
 // Arg is one key/value annotation. Values are pre-formatted strings so that
