@@ -316,7 +316,11 @@ func newGhostEnv() *ghostEnv {
 }
 
 func (e *ghostEnv) record(file string, extents []ext.Extent) {
-	e.recorded[file] = ext.Merge(append(e.recorded[file], extents...))
+	xs := e.recorded[file]
+	for _, x := range extents {
+		xs = ext.Insert(xs, x)
+	}
+	e.recorded[file] = xs
 }
 
 // Value implements workloads.Env.

@@ -6,7 +6,10 @@
 // contiguous requests.
 package ext
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Extent is a half-open byte range [Off, Off+Len) within a file.
 type Extent struct {
@@ -42,9 +45,11 @@ func (e Extent) Clip(lo, hi int64) (Extent, bool) {
 	return Extent{Off: o, Len: n - o}, true
 }
 
-// Sort orders extents by offset (stable for equal offsets).
+// Sort orders extents by offset (stable for equal offsets). The generic
+// sort moves Extent values directly — no reflection-based swapper — which
+// matters because every CRM cycle funnels its request lists through here.
 func Sort(xs []Extent) {
-	sort.SliceStable(xs, func(i, j int) bool { return xs[i].Off < xs[j].Off })
+	slices.SortStableFunc(xs, func(a, b Extent) int { return cmp.Compare(a.Off, b.Off) })
 }
 
 // Total returns the summed length.
@@ -92,6 +97,46 @@ func MergeWithHoles(xs []Extent, maxHole int64) []Extent {
 	// out aliases cp, which this call owns — returning it directly is safe
 	// and saves re-copying the result on a very hot path.
 	return out
+}
+
+// Insert adds e to xs, which must be in the canonical form Merge produces
+// (sorted by offset, disjoint, no zero gaps), and returns the updated list,
+// still canonical. It is equivalent to Merge(append(xs, e)) but coalesces in
+// place — no copy, no sort — so per-extent accumulators (cache chunk maps,
+// ghost recorders) can grow sorted sets without re-merging them each time.
+func Insert(xs []Extent, e Extent) []Extent {
+	if e.Len <= 0 {
+		return xs
+	}
+	// First extent that could touch e: End >= e.Off.
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid].End() < e.Off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo
+	// Extents [i, j) overlap or touch e and coalesce with it.
+	j := i
+	for j < len(xs) && xs[j].Off <= e.End() {
+		j++
+	}
+	if i == j {
+		xs = append(xs, Extent{})
+		copy(xs[i+1:], xs[i:])
+		xs[i] = e
+		return xs
+	}
+	off := min(xs[i].Off, e.Off)
+	end := max(xs[j-1].End(), e.End())
+	xs[i] = Extent{Off: off, Len: end - off}
+	if j > i+1 {
+		xs = append(xs[:i+1], xs[j:]...)
+	}
+	return xs
 }
 
 // Holes returns the gaps within merged that are not covered by any extent
@@ -144,20 +189,27 @@ func AlignTo(xs []Extent, unit int64) []Extent {
 // SplitAt chops extents at multiples of unit, yielding pieces that each lie
 // within a single unit-sized block (used for chunk-granular caching).
 func SplitAt(xs []Extent, unit int64) []Extent {
+	var out []Extent
+	VisitSplit(xs, unit, func(e Extent) { out = append(out, e) })
+	return out
+}
+
+// VisitSplit is SplitAt without the materialized result: it calls fn for
+// each unit-aligned piece in order. Hot paths that stripe extents across
+// servers use it to avoid allocating the intermediate piece list.
+func VisitSplit(xs []Extent, unit int64, fn func(Extent)) {
 	if unit <= 0 {
 		panic("ext: non-positive unit")
 	}
-	var out []Extent
 	for _, e := range xs {
 		for e.Len > 0 {
 			room := unit - e.Off%unit
 			if room > e.Len {
 				room = e.Len
 			}
-			out = append(out, Extent{Off: e.Off, Len: room})
+			fn(Extent{Off: e.Off, Len: room})
 			e.Off += room
 			e.Len -= room
 		}
 	}
-	return out
 }

@@ -158,6 +158,63 @@ func TestMergeProperties(t *testing.T) {
 }
 
 // Property: MergeWithHoles(xs, h) total = Total(Merge(xs)) + Total(Holes).
+func TestInsertCases(t *testing.T) {
+	cases := []struct {
+		xs   []Extent
+		e    Extent
+		want []Extent
+	}{
+		{nil, Extent{5, 5}, []Extent{{5, 5}}},
+		{[]Extent{{0, 5}}, Extent{10, 5}, []Extent{{0, 5}, {10, 5}}},                           // after, disjoint
+		{[]Extent{{10, 5}}, Extent{0, 5}, []Extent{{0, 5}, {10, 5}}},                           // before, disjoint
+		{[]Extent{{0, 5}}, Extent{5, 5}, []Extent{{0, 10}}},                                    // adjacent right
+		{[]Extent{{5, 5}}, Extent{0, 5}, []Extent{{0, 10}}},                                    // adjacent left
+		{[]Extent{{0, 5}, {10, 5}}, Extent{4, 7}, []Extent{{0, 15}}},                           // bridges two
+		{[]Extent{{0, 5}, {10, 5}, {20, 5}}, Extent{2, 1}, []Extent{{0, 5}, {10, 5}, {20, 5}}}, // contained
+		{[]Extent{{0, 5}, {10, 5}, {20, 5}}, Extent{6, 20}, []Extent{{0, 5}, {6, 20}}},         // swallows tail
+		{[]Extent{{10, 5}}, Extent{12, 1}, []Extent{{10, 5}}},                                  // fully inside
+		{[]Extent{{10, 5}}, Extent{3, 0}, []Extent{{10, 5}}},                                   // zero length no-op
+	}
+	for _, c := range cases {
+		got := Insert(append([]Extent(nil), c.xs...), c.e)
+		if len(got) != len(c.want) {
+			t.Fatalf("Insert(%v, %v) = %v, want %v", c.xs, c.e, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Insert(%v, %v) = %v, want %v", c.xs, c.e, got, c.want)
+			}
+		}
+	}
+}
+
+// Property: folding Insert over any extent sequence yields exactly
+// Merge of the whole sequence — the canonical forms are identical.
+func TestInsertEquivalentToMerge(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]Extent, int(n)%48)
+		var folded []Extent
+		for i := range xs {
+			xs[i] = Extent{Off: r.Int63n(300), Len: r.Int63n(40)}
+			folded = Insert(folded, xs[i])
+		}
+		want := Merge(xs)
+		if len(folded) != len(want) {
+			return false
+		}
+		for i := range want {
+			if folded[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestHolesAccounting(t *testing.T) {
 	f := func(seed int64, n uint8, hole uint16) bool {
 		r := rand.New(rand.NewSource(seed))

@@ -1,8 +1,6 @@
 package fs
 
 import (
-	"container/list"
-
 	"dualpar/internal/sim"
 )
 
@@ -14,12 +12,58 @@ type pageKey struct {
 
 // cachePage is a resident page. It sits either on the clean LRU list or on
 // the dirty FIFO (in first-dirtied order, which the flusher honors like the
-// kernel's per-inode dirty time ordering).
+// kernel's per-inode dirty time ordering). The list links are intrusive —
+// a page is its own list node — and evicted pages are recycled through a
+// free list, so steady-state cache churn allocates nothing.
 type cachePage struct {
 	file  string
 	idx   int64
 	dirty bool
-	el    *list.Element
+
+	prev, next *cachePage
+}
+
+// pageList is an intrusive doubly-linked list of cachePages. The zero value
+// is an empty list.
+type pageList struct {
+	head, tail *cachePage
+	n          int
+}
+
+func (l *pageList) Len() int { return l.n }
+
+func (l *pageList) pushBack(pg *cachePage) {
+	pg.prev, pg.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = pg
+	} else {
+		l.head = pg
+	}
+	l.tail = pg
+	l.n++
+}
+
+func (l *pageList) remove(pg *cachePage) {
+	if pg.prev != nil {
+		pg.prev.next = pg.next
+	} else {
+		l.head = pg.next
+	}
+	if pg.next != nil {
+		pg.next.prev = pg.prev
+	} else {
+		l.tail = pg.prev
+	}
+	pg.prev, pg.next = nil, nil
+	l.n--
+}
+
+func (l *pageList) moveToBack(pg *cachePage) {
+	if l.tail == pg {
+		return
+	}
+	l.remove(pg)
+	l.pushBack(pg)
 }
 
 // pageCache tracks residency and dirtiness; it stores no data.
@@ -27,8 +71,9 @@ type pageCache struct {
 	k          *sim.Kernel
 	cfg        Config
 	pages      map[pageKey]*cachePage
-	clean      *list.List // *cachePage, front = least recently used
-	dirty      *list.List // *cachePage, front = oldest dirty
+	clean      pageList // front = least recently used
+	dirty      pageList // front = oldest dirty
+	free       *cachePage
 	dirtyBytes int64
 
 	// kick wakes the flusher early; cleaned signals writers/evicters that
@@ -42,11 +87,30 @@ func newPageCache(k *sim.Kernel, cfg Config) *pageCache {
 		k:       k,
 		cfg:     cfg,
 		pages:   make(map[pageKey]*cachePage),
-		clean:   list.New(),
-		dirty:   list.New(),
 		kick:    k.NewSignal(),
 		cleaned: k.NewSignal(),
 	}
+}
+
+// newPage takes a page off the free list (or allocates one) and initializes
+// it.
+func (c *pageCache) newPage(file string, idx int64) *cachePage {
+	pg := c.free
+	if pg == nil {
+		pg = &cachePage{}
+	} else {
+		c.free = pg.next
+		pg.next = nil
+	}
+	pg.file, pg.idx, pg.dirty = file, idx, false
+	return pg
+}
+
+// recycle returns an evicted (unlinked) page to the free list.
+func (c *pageCache) recycle(pg *cachePage) {
+	pg.file = ""
+	pg.next = c.free
+	c.free = pg
 }
 
 func (c *pageCache) resident(file string, idx int64) bool {
@@ -61,7 +125,7 @@ func (c *pageCache) touch(file string, idx int64) bool {
 		return false
 	}
 	if !pg.dirty {
-		c.clean.MoveToBack(pg.el)
+		c.clean.moveToBack(pg)
 	}
 	return true
 }
@@ -73,13 +137,13 @@ func (c *pageCache) insertClean(p *sim.Proc, file string, idx int64) {
 	key := pageKey{file, idx}
 	if pg, ok := c.pages[key]; ok {
 		if !pg.dirty {
-			c.clean.MoveToBack(pg.el)
+			c.clean.moveToBack(pg)
 		}
 		return
 	}
 	c.makeRoom(p)
-	pg := &cachePage{file: file, idx: idx}
-	pg.el = c.clean.PushBack(pg)
+	pg := c.newPage(file, idx)
+	c.clean.pushBack(pg)
 	c.pages[key] = pg
 }
 
@@ -88,16 +152,17 @@ func (c *pageCache) insertDirty(p *sim.Proc, file string, idx int64) {
 	key := pageKey{file, idx}
 	if pg, ok := c.pages[key]; ok {
 		if !pg.dirty {
-			c.clean.Remove(pg.el)
+			c.clean.remove(pg)
 			pg.dirty = true
-			pg.el = c.dirty.PushBack(pg)
+			c.dirty.pushBack(pg)
 			c.dirtyBytes += int64(c.cfg.PageSize)
 		}
 		return
 	}
 	c.makeRoom(p)
-	pg := &cachePage{file: file, idx: idx, dirty: true}
-	pg.el = c.dirty.PushBack(pg)
+	pg := c.newPage(file, idx)
+	pg.dirty = true
+	c.dirty.pushBack(pg)
 	c.pages[key] = pg
 	c.dirtyBytes += int64(c.cfg.PageSize)
 }
@@ -108,8 +173,10 @@ func (c *pageCache) makeRoom(p *sim.Proc) {
 	capPages := c.cfg.CacheBytes / int64(c.cfg.PageSize)
 	for int64(len(c.pages)) >= capPages {
 		if c.clean.Len() > 0 {
-			victim := c.clean.Remove(c.clean.Front()).(*cachePage)
+			victim := c.clean.head
+			c.clean.remove(victim)
 			delete(c.pages, pageKey{victim.file, victim.idx})
+			c.recycle(victim)
 			continue
 		}
 		c.kick.Broadcast()
@@ -122,8 +189,8 @@ func (c *pageCache) markClean(pg *cachePage) {
 	if !pg.dirty {
 		return
 	}
-	c.dirty.Remove(pg.el)
+	c.dirty.remove(pg)
 	pg.dirty = false
-	pg.el = c.clean.PushBack(pg)
+	c.clean.pushBack(pg)
 	c.dirtyBytes -= int64(c.cfg.PageSize)
 }

@@ -128,6 +128,63 @@ type Store struct {
 
 	cPageHit  *obs.Counter
 	cPageMiss *obs.Counter
+
+	// Free lists for the per-call batch machinery: block-layer request
+	// records and the scratch slices a list-I/O call grows while building
+	// its batch. Scratch is checked out per call (concurrent submitters
+	// each hold their own across parks) and returned once every request in
+	// the batch has completed; requests cycle through Reset. Push/pop
+	// happens only between parks, so strict alternation is the lock.
+	reqFree     []*iosched.Request
+	scratchFree []*multiScratch
+}
+
+// multiScratch bundles the slices one ReadMulti/WriteMulti/flushOnce call
+// reuses while assembling its request batch.
+type multiScratch struct {
+	reqs     []*iosched.Request
+	missRuns [][2]int64
+	runs     []lbnRun
+	pages    []*cachePage
+}
+
+func (s *Store) getScratch() *multiScratch {
+	if n := len(s.scratchFree); n > 0 {
+		sc := s.scratchFree[n-1]
+		s.scratchFree = s.scratchFree[:n-1]
+		return sc
+	}
+	return &multiScratch{}
+}
+
+func (s *Store) putScratch(sc *multiScratch) {
+	sc.reqs = sc.reqs[:0]
+	sc.missRuns = sc.missRuns[:0]
+	sc.runs = sc.runs[:0]
+	sc.pages = sc.pages[:0]
+	s.scratchFree = append(s.scratchFree, sc)
+}
+
+// newReq pops a recycled request record (or allocates the pool's first)
+// and fills in the caller's fields.
+func (s *Store) newReq(lbn, sectors int64, write bool, origin int, rc obs.Ctx) *iosched.Request {
+	var r *iosched.Request
+	if n := len(s.reqFree); n > 0 {
+		r = s.reqFree[n-1]
+		s.reqFree = s.reqFree[:n-1]
+	} else {
+		r = &iosched.Request{}
+	}
+	r.LBN, r.Sectors, r.Write, r.Origin, r.Obs = lbn, sectors, write, origin, rc
+	return r
+}
+
+// releaseReqs recycles a batch whose every request has completed.
+func (s *Store) releaseReqs(reqs []*iosched.Request) {
+	for _, r := range reqs {
+		r.Reset()
+		s.reqFree = append(s.reqFree, r)
+	}
 }
 
 // New creates a store over dev with the given elevator algorithm. name is
@@ -230,9 +287,9 @@ func (s *Store) ensureAllocated(f *fileMeta, size int64) {
 	}
 }
 
-// runs maps the byte range [off, off+n) of file f to contiguous LBN runs.
-func (f *fileMeta) runs(off, n int64) []lbnRun {
-	var out []lbnRun
+// appendRuns maps the byte range [off, off+n) of file f to contiguous LBN
+// runs, appending them to out (callers pass a reusable scratch slice).
+func (f *fileMeta) appendRuns(out []lbnRun, off, n int64) []lbnRun {
 	end := off + n
 	for _, e := range f.extents {
 		eEnd := e.fileOff + e.bytes
@@ -278,7 +335,8 @@ func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin
 	s.statReadBytes += n
 
 	ps := int64(s.cfg.PageSize)
-	var missRuns [][2]int64 // page index ranges [start, end]
+	sc := s.getScratch()
+	missRuns := sc.missRuns // page index ranges [start, end]
 	for _, e := range extents {
 		if e.Len <= 0 {
 			continue
@@ -309,9 +367,11 @@ func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin
 	p.Sleep(time.Duration(float64(n) / s.cfg.MemBandwidth * float64(time.Second)))
 
 	if len(missRuns) == 0 {
+		sc.missRuns = missRuns
+		s.putScratch(sc)
 		return
 	}
-	var reqs []*iosched.Request
+	reqs := sc.reqs
 	for _, run := range missRuns {
 		startOff := run[0] * ps
 		endOff := (run[1] + 1) * ps
@@ -329,8 +389,9 @@ func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin
 		if endOff > f.size {
 			endOff = f.size
 		}
-		for _, lr := range f.runs(startOff, endOff-startOff) {
-			reqs = appendSplit(reqs, lr, false, origin, rc)
+		sc.runs = f.appendRuns(sc.runs[:0], startOff, endOff-startOff)
+		for _, lr := range sc.runs {
+			reqs = s.appendSplit(reqs, lr, false, origin, rc)
 		}
 	}
 	for _, r := range reqs {
@@ -339,6 +400,9 @@ func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin
 	for _, r := range reqs {
 		s.disp.Wait(p, r)
 	}
+	s.releaseReqs(reqs)
+	sc.reqs, sc.missRuns = reqs, missRuns
+	s.putScratch(sc)
 }
 
 // Write serves a write of [off, off+n). With SyncWrites the data reaches the
@@ -359,14 +423,16 @@ func (s *Store) WriteMulti(p *sim.Proc, name string, extents []ext.Extent, origi
 	p.Sleep(time.Duration(float64(n) / s.cfg.MemBandwidth * float64(time.Second)))
 
 	if s.cfg.SyncWrites {
-		var reqs []*iosched.Request
+		sc := s.getScratch()
+		reqs := sc.reqs
 		for _, e := range extents {
 			if e.Len <= 0 {
 				continue
 			}
 			s.ensureAllocated(f, e.End())
-			for _, lr := range f.runs(e.Off, e.Len) {
-				reqs = appendSplit(reqs, lr, true, origin, rc)
+			sc.runs = f.appendRuns(sc.runs[:0], e.Off, e.Len)
+			for _, lr := range sc.runs {
+				reqs = s.appendSplit(reqs, lr, true, origin, rc)
 			}
 		}
 		for _, r := range reqs {
@@ -375,6 +441,9 @@ func (s *Store) WriteMulti(p *sim.Proc, name string, extents []ext.Extent, origi
 		for _, r := range reqs {
 			s.disp.Wait(p, r)
 		}
+		s.releaseReqs(reqs)
+		sc.reqs = reqs
+		s.putScratch(sc)
 		return
 	}
 
@@ -425,10 +494,11 @@ func (s *Store) flusherLoop(p *sim.Proc) {
 // flushOnce writes back the oldest dirty pages, up to one batch.
 func (s *Store) flushOnce(p *sim.Proc) {
 	ps := int64(s.cfg.PageSize)
-	var pages []*cachePage
+	sc := s.getScratch()
+	pages := sc.pages
 	var bytes int64
-	for e := s.cache.dirty.Front(); e != nil && bytes < s.cfg.WritebackBatchBytes; e = e.Next() {
-		pages = append(pages, e.Value.(*cachePage))
+	for pg := s.cache.dirty.head; pg != nil && bytes < s.cfg.WritebackBatchBytes; pg = pg.next {
+		pages = append(pages, pg)
 		bytes += ps
 	}
 	// Coalesce per-file page runs into write requests, then sort by LBN.
@@ -438,7 +508,7 @@ func (s *Store) flushOnce(p *sim.Proc) {
 		}
 		return pages[i].idx < pages[j].idx
 	})
-	var reqs []*iosched.Request
+	reqs := sc.reqs
 	i := 0
 	for i < len(pages) {
 		j := i
@@ -446,8 +516,9 @@ func (s *Store) flushOnce(p *sim.Proc) {
 			j++
 		}
 		f := s.file(pages[i].file)
-		for _, lr := range f.runs(pages[i].idx*ps, int64(j-i+1)*ps) {
-			reqs = appendSplit(reqs, lr, true, s.wbOrig, obs.Ctx{})
+		sc.runs = f.appendRuns(sc.runs[:0], pages[i].idx*ps, int64(j-i+1)*ps)
+		for _, lr := range sc.runs {
+			reqs = s.appendSplit(reqs, lr, true, s.wbOrig, obs.Ctx{})
 		}
 		i = j + 1
 	}
@@ -461,11 +532,15 @@ func (s *Store) flushOnce(p *sim.Proc) {
 	for _, pg := range pages {
 		s.cache.markClean(pg)
 	}
+	s.releaseReqs(reqs)
+	sc.reqs, sc.pages = reqs, pages
+	s.putScratch(sc)
 }
 
 // appendSplit turns one contiguous LBN run into block-layer requests,
 // splitting at the request size cap (max_sectors) like the kernel does.
-func appendSplit(reqs []*iosched.Request, lr lbnRun, write bool, origin int, rc obs.Ctx) []*iosched.Request {
+// Records come from the store's request pool.
+func (s *Store) appendSplit(reqs []*iosched.Request, lr lbnRun, write bool, origin int, rc obs.Ctx) []*iosched.Request {
 	lbn := lr.lbn
 	sectors := (lr.bytes + sectorSize - 1) / sectorSize
 	for sectors > 0 {
@@ -473,7 +548,7 @@ func appendSplit(reqs []*iosched.Request, lr lbnRun, write bool, origin int, rc 
 		if n > iosched.MaxMergeSectors {
 			n = iosched.MaxMergeSectors
 		}
-		reqs = append(reqs, &iosched.Request{LBN: lbn, Sectors: n, Write: write, Origin: origin, Obs: rc})
+		reqs = append(reqs, s.newReq(lbn, n, write, origin, rc))
 		lbn += n
 		sectors -= n
 	}

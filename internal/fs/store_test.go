@@ -36,8 +36,8 @@ func TestTwoFilesSeparatedByGap(t *testing.T) {
 	s := newStore(k, cfg)
 	s.Create("a", 1<<20)
 	s.Create("b", 1<<20)
-	ra := s.files["a"].runs(0, 1<<20)
-	rb := s.files["b"].runs(0, 1<<20)
+	ra := s.files["a"].appendRuns(nil, 0, 1<<20)
+	rb := s.files["b"].appendRuns(nil, 0, 1<<20)
 	gap := (rb[0].lbn - ra[0].lbn) * sectorSize
 	if gap < cfg.FileGapBytes {
 		t.Fatalf("inter-file LBN gap = %d bytes, want >= %d", gap, cfg.FileGapBytes)
@@ -67,7 +67,7 @@ func TestRunsSplitAtExtentBoundaries(t *testing.T) {
 	s.Create("a", 1<<20)
 	s.Create("b", 1<<20) // forces a's next extent to be discontiguous
 	s.Create("a", 2<<20)
-	runs := s.files["a"].runs(512<<10, 1<<20) // spans the extent boundary
+	runs := s.files["a"].appendRuns(nil, 512<<10, 1<<20) // spans the extent boundary
 	if len(runs) != 2 {
 		t.Fatalf("runs = %d, want 2 across fragmented extents", len(runs))
 	}

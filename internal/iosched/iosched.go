@@ -24,8 +24,9 @@ import (
 // mirroring the kernel's max_sectors_kb (512 KB here).
 const MaxMergeSectors = 1024
 
-// A Request is one block-layer request. Create it with fields set and a nil
-// done signal; the Dispatcher fills in bookkeeping.
+// A Request is one block-layer request. Create it with the exported fields
+// set; the Dispatcher fills in bookkeeping (the embedded completion signal
+// needs no initialization).
 type Request struct {
 	LBN     int64
 	Sectors int64
@@ -37,13 +38,27 @@ type Request struct {
 	Obs obs.Ctx
 
 	arrival  time.Duration
-	done     *sim.Signal
+	done     sim.Signal
 	finished bool
 	absorbed []*Request // requests merged into this one
 }
 
 // End returns the first LBN after the request.
 func (r *Request) End() int64 { return r.LBN + r.Sectors }
+
+// Reset prepares a completed request for reuse, so submitters can pool
+// Request records instead of allocating one per block run. The completion
+// signal keeps its waiter-list capacity; everything else returns to the
+// zero state. Resetting a request that has not finished (still queued,
+// dispatched, or absorbed into a pending merge) would leave a live alias
+// and is a caller bug.
+func (r *Request) Reset() {
+	if !r.finished {
+		panic("iosched: Reset of unfinished request")
+	}
+	done := r.done
+	*r = Request{done: done}
+}
 
 // Algorithm is an elevator policy. Implementations are driven by a single
 // Dispatcher Proc and need no locking.
@@ -126,9 +141,6 @@ func (d *Dispatcher) Enqueue(r *Request) {
 		panic(fmt.Sprintf("iosched: empty request %+v", r))
 	}
 	r.arrival = d.k.Now()
-	if r.done == nil {
-		r.done = d.k.NewSignal()
-	}
 	if d.obs.Enabled() {
 		// Queue-entry instant: the analyzer reconstructs block-layer queueing
 		// as [arrival, dispatch) from this plus the span's queue_ns arg.
@@ -229,9 +241,7 @@ func (d *Dispatcher) complete(r *Request) {
 	r.done.Broadcast()
 	for _, a := range r.absorbed {
 		a.finished = true
-		if a.done != nil {
-			a.done.Broadcast()
-		}
+		a.done.Broadcast()
 	}
 	r.absorbed = nil
 }

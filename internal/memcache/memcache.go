@@ -184,26 +184,20 @@ func (c *Cache) Hits() int64 { return c.statHits }
 // Evictions reports evicted chunk count.
 func (c *Cache) Evictions() int64 { return c.statEvictions }
 
-// chunkRel splits a file extent into (chunk index, chunk-relative extent)
-// pieces.
-func (c *Cache) chunkRel(e ext.Extent) []struct {
-	idx int64
-	rel ext.Extent
-} {
-	var out []struct {
-		idx int64
-		rel ext.Extent
+// visitChunks splits a file extent into (chunk index, chunk-relative
+// extent) pieces, calling fn for each in order. The visitor form keeps the
+// per-operation chunk walk allocation-free.
+func (c *Cache) visitChunks(e ext.Extent, fn func(idx int64, rel ext.Extent)) {
+	cb := c.cfg.ChunkBytes
+	for e.Len > 0 {
+		room := cb - e.Off%cb
+		if room > e.Len {
+			room = e.Len
+		}
+		fn(e.Off/cb, ext.Extent{Off: e.Off % cb, Len: room})
+		e.Off += room
+		e.Len -= room
 	}
-	for _, piece := range ext.SplitAt([]ext.Extent{e}, c.cfg.ChunkBytes) {
-		out = append(out, struct {
-			idx int64
-			rel ext.Extent
-		}{
-			idx: piece.Off / c.cfg.ChunkBytes,
-			rel: ext.Extent{Off: piece.Off % c.cfg.ChunkBytes, Len: piece.Len},
-		})
-	}
-	return out
 }
 
 // Get checks whether [e] of file is fully cached. Lookups are batched the
@@ -225,30 +219,30 @@ func (c *Cache) GetTraced(p *sim.Proc, fromNode int, rc obs.Ctx, file string, ex
 	var auditMiss int64
 	var perHome homeBytes // hit bytes by home node
 	for _, e := range extents {
-		for _, cr := range c.chunkRel(e) {
-			key := chunkKey{file, cr.idx}
+		c.visitChunks(e, func(idx int64, rel ext.Extent) {
+			key := chunkKey{file, idx}
 			ch := c.chunks[key]
 			var hitB int64
 			if ch != nil {
 				ch.lastRef = now
-				// Covered portion of cr.rel.
+				// Covered portion of rel.
 				for _, v := range ch.valid {
-					if cl, ok := v.Clip(cr.rel.Off, cr.rel.End()); ok {
+					if cl, ok := v.Clip(rel.Off, rel.End()); ok {
 						hitB += cl.Len
 					}
 				}
 			}
-			base := cr.idx * c.cfg.ChunkBytes
-			if ch == nil || hitB < cr.rel.Len {
+			base := idx * c.cfg.ChunkBytes
+			if ch == nil || hitB < rel.Len {
 				// Report the whole piece as missing (partial chunk hits are
 				// refetched with the miss, as DualPar's CRM refills chunks
 				// wholesale).
-				miss = append(miss, ext.Extent{Off: base + cr.rel.Off, Len: cr.rel.Len})
-				auditMiss += cr.rel.Len
-				continue
+				miss = append(miss, ext.Extent{Off: base + rel.Off, Len: rel.Len})
+				auditMiss += rel.Len
+				return
 			}
-			perHome = perHome.add(c.Home(cr.idx), hitB)
-		}
+			perHome = perHome.add(c.Home(idx), hitB)
+		})
 	}
 	if c.audit != nil {
 		var hit int64
@@ -358,22 +352,22 @@ func (c *Cache) put(p *sim.Proc, fromNode int, rc obs.Ctx, file string, extents 
 	now := p.Now()
 	var perHome homeBytes // bytes shipped to each home node
 	for _, e := range extents {
-		for _, cr := range c.chunkRel(e) {
-			key := chunkKey{file, cr.idx}
+		c.visitChunks(e, func(idx int64, rel ext.Extent) {
+			key := chunkKey{file, idx}
 			ch := c.chunks[key]
 			if ch == nil {
 				ch = &chunk{key: key}
 				c.chunks[key] = ch
 			}
 			before := ext.Total(ch.valid)
-			ch.valid = ext.Merge(append(ch.valid, cr.rel))
+			ch.valid = ext.Insert(ch.valid, rel)
 			c.used += ext.Total(ch.valid) - before
 			if dirty {
-				ch.dirty = ext.Merge(append(ch.dirty, cr.rel))
+				ch.dirty = ext.Insert(ch.dirty, rel)
 			}
 			ch.lastRef = now
-			perHome = perHome.add(c.Home(cr.idx), cr.rel.Len)
-		}
+			perHome = perHome.add(c.Home(idx), rel.Len)
+		})
 	}
 	c.chargeTransfers(p, fromNode, perHome, true)
 	if rc.Traced() {

@@ -61,7 +61,7 @@ func (f *File) collective(p *sim.Proc, rank int, extents []ext.Extent, write boo
 		}
 	}
 	if lo < 0 {
-		end(0)
+		end.finish(p, 0)
 		return
 	}
 	agg := f.partition(lo, hi)
@@ -111,7 +111,7 @@ func (f *File) collective(p *sim.Proc, rank int, extents []ext.Extent, write boo
 		}
 		f.w.Alltoallv(p, rank, send)
 	}
-	end(myBytes)
+	end.finish(p, myBytes)
 }
 
 // partition splits the accessed span [lo, hi) into stripe-aligned file

@@ -52,9 +52,10 @@ func NewInstr(n int) *Instr {
 }
 
 // begin marks the start of an I/O call: the time since the previous call's
-// return is attributed to computation. It returns the function to invoke at
-// call completion with the transferred byte count.
-func (in *Instr) begin(p *sim.Proc, rank int, file string, extents []ext.Extent) func(bytes int64) {
+// return is attributed to computation. Call finish on the returned handle at
+// call completion with the transferred byte count. The handle is a plain
+// value — beginning a call allocates nothing beyond the request log entries.
+func (in *Instr) begin(p *sim.Proc, rank int, file string, extents []ext.Extent) ioCall {
 	start := p.Now()
 	rs := &in.Ranks[rank]
 	if rs.everCalled {
@@ -65,14 +66,23 @@ func (in *Instr) begin(p *sim.Proc, rank int, file string, extents []ext.Extent)
 			in.log = append(in.log, ReqRecord{At: start, File: file, Ext: e})
 		}
 	}
-	return func(bytes int64) {
-		now := p.Now()
-		rs.IOTime += now - start
-		rs.Bytes += bytes
-		rs.Calls++
-		rs.lastReturn = now
-		rs.everCalled = true
-	}
+	return ioCall{rs: rs, start: start}
+}
+
+// ioCall is the in-flight handle returned by begin.
+type ioCall struct {
+	rs    *RankStats
+	start time.Duration
+}
+
+// finish closes the call: [start, now) is I/O time.
+func (c ioCall) finish(p *sim.Proc, bytes int64) {
+	now := p.Now()
+	c.rs.IOTime += now - c.start
+	c.rs.Bytes += bytes
+	c.rs.Calls++
+	c.rs.lastReturn = now
+	c.rs.everCalled = true
 }
 
 // Span accounts one I/O call that happened outside the normal begin/end
@@ -107,10 +117,12 @@ func (in *Instr) Record(now time.Duration, file string, extents []ext.Extent) {
 	}
 }
 
-// DrainLog returns and clears the request log (EMC samples it per slot).
+// DrainLog returns the request log and clears it (EMC samples it per slot).
+// The returned slice shares the log's backing array, which is reused by
+// subsequent records — consume or copy it before the program runs again.
 func (in *Instr) DrainLog() []ReqRecord {
 	out := in.log
-	in.log = nil
+	in.log = in.log[:0]
 	return out
 }
 

@@ -228,7 +228,7 @@ func (f *File) independent(p *sim.Proc, rank int, extents []ext.Extent, write bo
 	if f.cfg.IndependentSieve && len(extents) > 1 {
 		f.sieveIndependent(p, rank, extents, rc, write)
 		f.endRequest(p, rc, start, verb+"-sieved", n, len(extents))
-		end(n)
+		end.finish(p, n)
 		return
 	}
 	if f.cfg.ListIO || len(extents) <= 1 {
@@ -249,7 +249,7 @@ func (f *File) independent(p *sim.Proc, rank int, extents []ext.Extent, write bo
 		}
 	}
 	f.endRequest(p, rc, start, verb, n, len(extents))
-	end(n)
+	end.finish(p, n)
 }
 
 // sieveIndependent performs ROMIO-style data sieving for one rank's strided

@@ -65,6 +65,14 @@ type Network struct {
 
 	faults *fault.Injector
 
+	// One-entry serialization-time memo: message sizes repeat heavily
+	// (headers, stripe units, page batches), and the float division in xfer
+	// shows up on the per-message hot path. Caching the last (bytes, xfer)
+	// pair returns the exact same Duration the division would, so the event
+	// timeline is unchanged.
+	lastBytes int64
+	lastXfer  time.Duration
+
 	obs       *obs.Collector
 	cBytes    *obs.Counter
 	cMessages *obs.Counter
@@ -76,7 +84,7 @@ func New(k *sim.Kernel, cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Network{k: k, cfg: cfg}
+	return &Network{k: k, cfg: cfg, lastBytes: -1}
 }
 
 // Config returns the network configuration.
@@ -120,7 +128,12 @@ func (n *Network) grow(node int) {
 
 // xfer returns the serialization time of a message.
 func (n *Network) xfer(bytes int64) time.Duration {
-	return time.Duration(float64(bytes) / n.cfg.Bandwidth * float64(time.Second))
+	if bytes == n.lastBytes {
+		return n.lastXfer
+	}
+	x := time.Duration(float64(bytes) / n.cfg.Bandwidth * float64(time.Second))
+	n.lastBytes, n.lastXfer = bytes, x
+	return x
 }
 
 // maxRetransmits bounds how often one message retries after injected

@@ -116,7 +116,7 @@ type xferGroup struct {
 	file    string
 	lst     []ext.Extent
 	msg     int64
-	done    *sim.Signal
+	done    sim.Signal // shared by every replica attempt (see issueTo)
 	reps    []*issued
 	ver     int64
 }
@@ -145,10 +145,19 @@ func (c *Client) transfer(p *sim.Proc, name string, extents []ext.Extent, origin
 // legacyTransfer is the pre-replication path, preserved verbatim: with
 // Replicas <= 1 and no crash windows the event timeline stays
 // byte-identical to earlier builds.
+//
+// It runs on pooled transfer records: requests, retry records, and the
+// per-server extent lists come from the FileSystem free lists and go back
+// once every request has finished. A request that was reissued may have a
+// duplicate attempt still being served; it (and the extent buffer its
+// attempts reference) is left to the garbage collector rather than risk a
+// live reference — the common no-retry op recycles everything.
 func (c *Client) legacyTransfer(p *sim.Proc, name string, extents []ext.Extent, origin int, rc obs.Ctx, write bool) {
 	fsys := c.fsys
-	per := fsys.split(extents)
-	reqs := make([]*issued, 0, len(per))
+	per := fsys.getSplitBuf()
+	fsys.splitInto(per, extents)
+	var reqsArr [32]*issued // escapes only past NumServers() > 32
+	reqs := reqsArr[:0]
 	// With the integrity tracker enabled, legacy writes get version stamps
 	// too, so the audit coherence oracle covers the single-replica path. The
 	// stamping itself adds no simulation events.
@@ -162,16 +171,15 @@ func (c *Client) legacyTransfer(p *sim.Proc, name string, extents []ext.Extent, 
 			continue
 		}
 		srv := fsys.servers[i]
-		req := &serverReq{
-			file:    name,
-			extents: lst,
-			write:   write,
-			origin:  origin,
-			client:  c.Node,
-			done:    fsys.k.NewSignal(),
-			rc:      rc,
-			ver:     ver,
-		}
+		req := fsys.getServerReq()
+		req.file = name
+		req.extents = lst
+		req.write = write
+		req.origin = origin
+		req.client = c.Node
+		req.rc = rc
+		req.ver = ver
+		req.done = &req.sig
 		msg := fsys.cfg.HeaderBytes + fsys.cfg.ExtentDescBytes*int64(len(lst))
 		if write {
 			msg += ext.Total(lst) // write payload travels with the request
@@ -179,13 +187,30 @@ func (c *Client) legacyTransfer(p *sim.Proc, name string, extents []ext.Extent, 
 		fsys.net.SendTraced(p, c.Node, srv.Node, msg, rc)
 		req.enq = p.Now()
 		srv.queue.Put(req)
-		reqs = append(reqs, &issued{srv: srv, msg: msg, attempts: []*serverReq{req}})
+		is := fsys.getIssued()
+		is.srv, is.msg = srv, msg
+		is.attempts = append(is.attempts, req)
+		reqs = append(reqs, is)
 	}
 	for _, is := range reqs {
 		c.await(p, is)
 	}
 	if ver != 0 {
 		fsys.tracker.recordExpected(name, extents, ver)
+	}
+	allDead := true
+	for _, is := range reqs {
+		if len(is.attempts) == 1 {
+			fsys.putServerReq(is.attempts[0])
+		} else {
+			// An abandoned duplicate may still be in a server queue or
+			// worker, referencing the request and its extent list.
+			allDead = false
+		}
+		fsys.putIssued(is)
+	}
+	if allDead {
+		fsys.putSplitBuf(per)
 	}
 }
 
@@ -261,7 +286,7 @@ func (c *Client) issueTo(p *sim.Proc, g *xferGroup, rank int, write bool, origin
 		write:   write,
 		origin:  origin,
 		client:  c.Node,
-		done:    g.done,
+		done:    &g.done,
 		rc:      rc,
 		ver:     g.ver,
 	}
@@ -285,7 +310,7 @@ func (c *Client) reissue(p *sim.Proc, g *xferGroup, is *issued, rc obs.Ctx) {
 		write:   first.write,
 		origin:  first.origin,
 		client:  first.client,
-		done:    g.done,
+		done:    &g.done,
 		rc:      first.rc,
 		ver:     first.ver,
 	}
@@ -340,7 +365,6 @@ func (c *Client) writeReplicated(p *sim.Proc, name string, extents []ext.Extent,
 			file:    name,
 			lst:     lst,
 			msg:     fsys.cfg.HeaderBytes + fsys.cfg.ExtentDescBytes*int64(len(lst)) + ext.Total(lst),
-			done:    fsys.k.NewSignal(),
 			ver:     ver,
 		}
 		for rank := 0; rank < fsys.replicas(); rank++ {
@@ -449,7 +473,6 @@ func (c *Client) readFailover(p *sim.Proc, name string, extents []ext.Extent, or
 			file:    name,
 			lst:     lst,
 			msg:     fsys.cfg.HeaderBytes + fsys.cfg.ExtentDescBytes*int64(len(lst)),
-			done:    fsys.k.NewSignal(),
 		}
 		c.issueTo(p, g, fsys.preferredRank(i), false, origin, rc)
 		groups = append(groups, g)

@@ -159,6 +159,75 @@ type FileSystem struct {
 	audit        check.Ledger
 	auditServed  []int64
 	auditRebuild []int64
+
+	// Free lists for the per-operation transfer records. A steady-state
+	// client op on the legacy path then allocates nothing: requests, retry
+	// records, and the per-server extent lists all cycle through these.
+	// Push/pop happens only between parks, so strict alternation is the
+	// lock. Recycling is conservative: a request that might still be
+	// referenced by an in-flight duplicate attempt is simply dropped to the
+	// garbage collector (see legacyTransfer).
+	reqFree   []*serverReq
+	issFree   []*issued
+	splitFree [][][]ext.Extent
+}
+
+// getServerReq pops a recycled request (or allocates the pool's first).
+// The embedded completion signal keeps its waiter-list capacity across
+// reuses, so re-arming a wait on it allocates nothing either.
+func (fsys *FileSystem) getServerReq() *serverReq {
+	if n := len(fsys.reqFree); n > 0 {
+		r := fsys.reqFree[n-1]
+		fsys.reqFree = fsys.reqFree[:n-1]
+		return r
+	}
+	return &serverReq{}
+}
+
+// putServerReq recycles a finished request. The caller must guarantee no
+// other reference survives (no duplicate attempt in flight, completion
+// signal drained).
+func (fsys *FileSystem) putServerReq(r *serverReq) {
+	sig := r.sig // keep the waiter list's backing array
+	*r = serverReq{sig: sig}
+	fsys.reqFree = append(fsys.reqFree, r)
+}
+
+// getIssued / putIssued recycle retry records; the attempts slice keeps its
+// capacity across reuses.
+func (fsys *FileSystem) getIssued() *issued {
+	if n := len(fsys.issFree); n > 0 {
+		is := fsys.issFree[n-1]
+		fsys.issFree = fsys.issFree[:n-1]
+		return is
+	}
+	return &issued{}
+}
+
+func (fsys *FileSystem) putIssued(is *issued) {
+	attempts := is.attempts[:0]
+	*is = issued{attempts: attempts}
+	fsys.issFree = append(fsys.issFree, is)
+}
+
+// getSplitBuf checks out a per-server extent-list buffer for splitInto.
+// Concurrent transfers each hold their own buffer until their requests are
+// dead, then return it with putSplitBuf; the per-server sub-slices keep
+// their capacity across reuses.
+func (fsys *FileSystem) getSplitBuf() [][]ext.Extent {
+	if n := len(fsys.splitFree); n > 0 {
+		b := fsys.splitFree[n-1]
+		fsys.splitFree = fsys.splitFree[:n-1]
+		return b
+	}
+	return make([][]ext.Extent, fsys.NumServers())
+}
+
+func (fsys *FileSystem) putSplitBuf(b [][]ext.Extent) {
+	for i := range b {
+		b[i] = b[i][:0]
+	}
+	fsys.splitFree = append(fsys.splitFree, b)
 }
 
 // Server is one data server.
@@ -182,8 +251,9 @@ type serverReq struct {
 	extents []ext.Extent // server-local byte space
 	write   bool
 	origin  int
-	client  int // requesting network node
-	done    *sim.Signal
+	client  int         // requesting network node
+	done    *sim.Signal // completion signal; replica attempts share the group's
+	sig     sim.Signal  // backing storage for done on the single-attempt path
 	fin     bool
 	rc      obs.Ctx       // originating traced request
 	enq     time.Duration // enqueue time (queue-wait annotation)
@@ -404,10 +474,18 @@ func (srv *Server) dropCrashed(req *serverReq, now time.Duration) {
 
 // split maps file-global extents to per-server local extent lists.
 func (fsys *FileSystem) split(extents []ext.Extent) [][]ext.Extent {
+	out := make([][]ext.Extent, fsys.NumServers())
+	fsys.splitInto(out, extents)
+	return out
+}
+
+// splitInto is split appending into a caller-provided buffer (len =
+// NumServers, every sub-slice empty), so the hot path can reuse checked-out
+// buffers instead of allocating per operation.
+func (fsys *FileSystem) splitInto(out [][]ext.Extent, extents []ext.Extent) {
 	n := int64(fsys.NumServers())
 	unit := fsys.cfg.StripeUnit
-	out := make([][]ext.Extent, n)
-	for _, piece := range ext.SplitAt(extents, unit) {
+	ext.VisitSplit(extents, unit, func(piece ext.Extent) {
 		stripe := piece.Off / unit
 		srv := stripe % n
 		local := (stripe/n)*unit + piece.Off%unit
@@ -418,8 +496,7 @@ func (fsys *FileSystem) split(extents []ext.Extent) [][]ext.Extent {
 		} else {
 			out[srv] = append(lst, ext.Extent{Off: local, Len: piece.Len})
 		}
-	}
-	return out
+	})
 }
 
 // LocalOffset translates a file-global offset to (server index, local

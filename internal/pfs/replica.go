@@ -198,7 +198,11 @@ func newRebuildLedger(n int) *rebuildLedger {
 
 func (l *rebuildLedger) add(server int, file string, extents []ext.Extent) {
 	m := l.perServer[server]
-	m[file] = ext.Merge(append(m[file], extents...))
+	xs := m[file]
+	for _, x := range extents {
+		xs = ext.Insert(xs, x)
+	}
+	m[file] = xs
 }
 
 // dirtyFile is one rebuild work item.

@@ -75,3 +75,57 @@ func BenchmarkKernelWaitTimeout(b *testing.B) {
 	})
 	k.Run()
 }
+
+// BenchmarkKernelPopulatedHeap measures scheduling against a deep standing
+// heap: 1024 far-future events keep the 4-ary sift paths honest (an empty
+// heap would route everything through the same-instant FIFO or solo-sleep
+// shortcuts and never touch them).
+func BenchmarkKernelPopulatedHeap(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	const standing = 1024
+	for i := 0; i < standing; i++ {
+		k.After(time.Hour+time.Duration(i)*time.Second, func() {})
+	}
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			k.After(time.Microsecond, tick)
+		}
+	}
+	k.After(time.Microsecond, tick)
+	k.RunUntil(time.Hour - time.Second)
+	if count != b.N {
+		b.Fatalf("ran %d events, want %d", count, b.N)
+	}
+}
+
+// BenchmarkKernelWaitTimeoutEarlyWake measures the watchdog pattern where
+// the broadcast always beats the timeout: every wait arms a long timer that
+// must then be canceled, so this pins both the cancel path's cost and that
+// spent timers never accumulate in the queue.
+func BenchmarkKernelWaitTimeoutEarlyWake(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	s := k.NewSignal()
+	k.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			if !s.WaitTimeout(p, time.Hour) {
+				b.Errorf("wait %d: timed out, want early broadcast", i)
+				return
+			}
+		}
+	})
+	k.Spawn("waker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond) // let the waiter park first
+			s.Broadcast()
+		}
+	})
+	k.Run()
+	if n := k.Pending(); n != 0 {
+		b.Fatalf("Pending = %d after drain, want 0 (canceled timers must not linger)", n)
+	}
+}

@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -19,41 +18,65 @@ import (
 	"dualpar/internal/check"
 )
 
-// event is a scheduled callback in virtual time.
+// event is a scheduled callback in virtual time. Events live in the kernel's
+// flat arena and are addressed by index everywhere — the priority queue, the
+// same-instant FIFO, and the free list all hold arena indices, never
+// pointers, so the scheduler moves 4-byte ints instead of boxed interface
+// values and a recycled slot is a free-list push.
 type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
+	pos int32 // index in Kernel.heap, or posFIFO / posFree
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
+// pos sentinels for events not currently stored in the heap.
+const (
+	posFIFO int32 = -1 // queued in the same-instant FIFO
+	posFree int32 = -2 // on the free list (or popped and running)
+)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventID names one scheduled event for cancellation. The generation
+// (seq) guards against the arena slot having been recycled: cancel is a
+// no-op unless the slot still holds exactly the named event.
+type eventID struct {
+	idx int32
+	seq uint64
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+
+// noEvent is the invalid eventID (the zero value would name arena slot 0).
+var noEvent = eventID{idx: -1}
 
 // Kernel is a discrete-event simulation. The zero value is not usable; create
 // one with NewKernel.
 type Kernel struct {
-	now     time.Duration
-	seq     uint64
-	events  eventHeap
-	free    []*event      // recycled events (the sweep hot path allocates none at steady state)
+	now   time.Duration
+	seq   uint64
+	arena []event // flat event storage; heap/fifo/free hold indices into it
+
+	// heap is an index-based 4-ary min-heap over (at, seq). Quadrupling the
+	// fan-out halves the levels a pop sifts through, and the four child
+	// indices it compares per level share one cache line.
+	heap []int32
+
+	// fifo batches same-instant work: an event scheduled at exactly now,
+	// while the heap holds nothing at or before now, must run after every
+	// already-queued same-instant event (its seq is the largest yet issued)
+	// — so it skips the heap entirely and is appended here. Broadcast
+	// fan-outs, queue hand-offs, yields, and netsim same-instant deliveries
+	// all ride this path: waking N procs at one instant is N appends and N
+	// slice reads, not N heap sifts.
+	fifo     []int32
+	fifoHead int
+
+	free    []int32 // recycled arena slots
+	pending int     // scheduled events not yet run or canceled
+
+	// deadline is the active RunUntil deadline (-1 = unbounded), read by the
+	// solo-sleep fast path in Proc.Sleep (valid whenever Proc code runs,
+	// since Procs only execute inside the event loop).
+	deadline time.Duration
+
 	parked  chan struct{} // handshake: running Proc yields control back
 	failure *procPanic    // first panic raised inside a Proc
 	nprocs  int           // live (spawned, not yet finished) procs
@@ -77,8 +100,9 @@ type procPanic struct {
 // random source derived from seed.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
-		parked: make(chan struct{}),
-		rng:    rand.New(rand.NewSource(seed)),
+		deadline: -1,
+		parked:   make(chan struct{}),
+		rng:      rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -89,26 +113,66 @@ func (k *Kernel) Now() time.Duration { return k.now }
 // used from kernel or Proc context.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
-// schedule enqueues fn to run at absolute virtual time at. Event records are
-// recycled through a free list: RunUntil returns each popped event after its
-// callback finishes, so a steady-state simulation stops allocating them. No
-// caller retains the record past its callback.
-func (k *Kernel) schedule(at time.Duration, fn func()) *event {
+// schedule enqueues fn to run at absolute virtual time at and returns its
+// id for cancel. Arena slots are recycled through the free list: the run
+// loop returns each popped slot before its callback executes, so a
+// steady-state simulation stops allocating event records entirely.
+func (k *Kernel) schedule(at time.Duration, fn func()) eventID {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
 	}
-	var e *event
+	var idx int32
 	if n := len(k.free); n > 0 {
-		e = k.free[n-1]
-		k.free[n-1] = nil
+		idx = k.free[n-1]
 		k.free = k.free[:n-1]
-		e.at, e.seq, e.fn = at, k.seq, fn
 	} else {
-		e = &event{at: at, seq: k.seq, fn: fn}
+		k.arena = append(k.arena, event{})
+		idx = int32(len(k.arena) - 1)
 	}
+	e := &k.arena[idx]
+	e.at, e.seq, e.fn = at, k.seq, fn
 	k.seq++
-	heap.Push(&k.events, e)
-	return e
+	k.pending++
+	if at == k.now && (len(k.heap) == 0 || k.arena[k.heap[0]].at > k.now) {
+		// Same-instant batch: every event at this instant still in the
+		// structure is already in the FIFO with a smaller seq, and the heap
+		// holds only later times, so appending preserves (time, seq) order.
+		e.pos = posFIFO
+		k.fifo = append(k.fifo, idx)
+	} else {
+		k.heapPush(idx)
+	}
+	return eventID{idx: idx, seq: e.seq}
+}
+
+// cancel removes a scheduled event before it fires. Canceling an event that
+// already ran, was already canceled, or whose slot has been recycled is a
+// no-op, so callers may cancel stale ids freely.
+func (k *Kernel) cancel(id eventID) {
+	if id.idx < 0 || int(id.idx) >= len(k.arena) {
+		return
+	}
+	e := &k.arena[id.idx]
+	if e.seq != id.seq || e.fn == nil {
+		return
+	}
+	k.pending--
+	if e.pos >= 0 {
+		k.heapRemove(int(e.pos))
+		k.freeSlot(id.idx)
+	} else {
+		// In the same-instant FIFO: tombstone in place (removal from the
+		// middle would shift the batch); the run loop frees it when reached.
+		e.fn = nil
+	}
+}
+
+// freeSlot recycles an arena slot.
+func (k *Kernel) freeSlot(idx int32) {
+	e := &k.arena[idx]
+	e.fn = nil
+	e.pos = posFree
+	k.free = append(k.free, idx)
 }
 
 // After schedules fn to run in kernel context after delay d. fn must not
@@ -145,34 +209,152 @@ func (k *Kernel) Run() {
 	k.RunUntil(-1)
 }
 
-// RunUntil executes events with timestamps <= deadline and then sets the
-// clock to deadline. A negative deadline means run to completion. Events
-// beyond the deadline stay queued for later Run/RunUntil calls.
+// RunUntil executes events with timestamps <= deadline. A negative deadline
+// means run to completion. When the loop genuinely drains past the deadline
+// — no runnable event at or before it remains — the clock is fast-forwarded
+// to the deadline; if Stop exited the loop early the clock stays where the
+// last event left it, so queued events never fire in the kernel's past.
+// Events beyond the deadline stay queued for later Run/RunUntil calls.
 func (k *Kernel) RunUntil(deadline time.Duration) {
 	k.stopped = false
-	for len(k.events) > 0 && !k.stopped {
-		next := k.events[0]
-		if deadline >= 0 && next.at > deadline {
-			break
+	k.deadline = deadline
+	for !k.stopped {
+		var idx int32
+		if k.fifoHead < len(k.fifo) {
+			idx = k.fifo[k.fifoHead]
+			e := &k.arena[idx]
+			if e.fn == nil { // canceled in place; discard the tombstone
+				k.fifoHead++
+				k.freeSlot(idx)
+				continue
+			}
+			if deadline >= 0 && e.at > deadline {
+				break
+			}
+			k.fifoHead++
+		} else {
+			if k.fifoHead > 0 {
+				k.fifo = k.fifo[:0]
+				k.fifoHead = 0
+			}
+			if len(k.heap) == 0 {
+				break
+			}
+			if deadline >= 0 && k.arena[k.heap[0]].at > deadline {
+				break
+			}
+			idx = k.heapPopTop()
 		}
-		heap.Pop(&k.events)
-		k.now = next.at
-		next.fn()
-		next.fn = nil
-		k.free = append(k.free, next)
+		e := &k.arena[idx]
+		k.now = e.at
+		fn := e.fn
+		k.pending--
+		k.freeSlot(idx) // recycle before running: fn's own schedules reuse it
+		fn()
 		if k.failure != nil {
 			f := k.failure
 			k.failure = nil
 			panic(fmt.Sprintf("sim: proc %q panicked: %v", f.proc, f.value))
 		}
 	}
-	if deadline >= 0 && k.now < deadline {
+	if deadline >= 0 && k.now < deadline && !k.stopped {
 		k.now = deadline
 	}
 }
 
 // Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return k.pending }
 
 // Live reports the number of spawned Procs that have not yet finished.
 func (k *Kernel) Live() int { return k.nprocs }
+
+// The heap is a 4-ary min-heap of arena indices ordered by (at, seq):
+// children of slot i live at 4i+1..4i+4. seq values are unique, so the
+// order is total and ties never arise.
+
+// heapPush inserts an arena index.
+func (k *Kernel) heapPush(idx int32) {
+	k.heap = append(k.heap, idx)
+	k.siftUp(len(k.heap) - 1)
+}
+
+// heapPopTop removes and returns the minimum element's arena index.
+func (k *Kernel) heapPopTop() int32 {
+	h := k.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	k.heap = h[:last]
+	if last > 0 {
+		k.siftDown(0)
+	}
+	return top
+}
+
+// heapRemove deletes the element at heap position i (cancel's path).
+func (k *Kernel) heapRemove(i int) {
+	h := k.heap
+	last := len(h) - 1
+	moved := h[last]
+	k.heap = h[:last]
+	if i == last {
+		return
+	}
+	h[i] = moved
+	k.arena[moved].pos = int32(i)
+	k.siftDown(i)
+	k.siftUp(int(k.arena[moved].pos))
+}
+
+// siftUp restores heap order upward from position i.
+func (k *Kernel) siftUp(i int) {
+	h := k.heap
+	idx := h[i]
+	e := &k.arena[idx]
+	for i > 0 {
+		parent := (i - 1) / 4
+		pe := &k.arena[h[parent]]
+		if pe.at < e.at || (pe.at == e.at && pe.seq < e.seq) {
+			break
+		}
+		h[i] = h[parent]
+		k.arena[h[i]].pos = int32(i)
+		i = parent
+	}
+	h[i] = idx
+	e.pos = int32(i)
+}
+
+// siftDown restores heap order downward from position i.
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	idx := h[i]
+	e := &k.arena[idx]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		be := &k.arena[h[c]]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			je := &k.arena[h[j]]
+			if je.at < be.at || (je.at == be.at && je.seq < be.seq) {
+				best, be = j, je
+			}
+		}
+		if e.at < be.at || (e.at == be.at && e.seq < be.seq) {
+			break
+		}
+		h[i] = h[best]
+		k.arena[h[i]].pos = int32(i)
+		i = best
+	}
+	h[i] = idx
+	e.pos = int32(i)
+}

@@ -6,11 +6,12 @@ import "time"
 // with virtual time under kernel control. Proc methods must only be called
 // from the Proc's own goroutine (the function passed to Spawn).
 type Proc struct {
-	k      *Kernel
-	name   string
-	resume chan struct{}
-	wake   func() // pre-built resume event callback, shared by every wakeAt
-	w      waiter // reusable Signal wait record (a Proc waits on one thing at a time)
+	k       *Kernel
+	name    string
+	resume  chan struct{}
+	wake    func() // pre-built resume event callback, shared by every wakeAt
+	timerFn func() // pre-built WaitTimeout expiry callback, shared by every timed wait
+	w       waiter // reusable Signal wait record (a Proc waits on one thing at a time)
 
 	lastNow time.Duration // audit only: virtual time observed at the last resume
 }
@@ -29,7 +30,21 @@ func (k *Kernel) SpawnAt(at time.Duration, name string, fn func(*Proc)) *Proc {
 		p.resume <- struct{}{}
 		<-p.k.parked
 	}
+	p.timerFn = func() {
+		// Expiry of the one timed wait this Proc can have outstanding. A
+		// stale firing (the wait already ended, w may be serving a later
+		// wait) is impossible as long as WaitTimeout cancels losing timers,
+		// but the generation check keeps it a no-op regardless.
+		w := &p.w
+		if w.seq != w.timerSeq || w.fired {
+			return
+		}
+		w.fired, w.timedOut = true, true
+		w.timer = noEvent
+		p.wakeAt(p.k.now)
+	}
 	p.w.p = p
+	p.w.timer = noEvent
 	k.nprocs++
 	k.schedule(at, func() {
 		go func() {
@@ -76,11 +91,34 @@ func (p *Proc) wakeAt(at time.Duration) {
 }
 
 // Sleep suspends the Proc for duration d of virtual time.
+//
+// Solo fast path: when nothing else is runnable in [now, now+d] — the
+// same-instant FIFO is empty, the earliest heap event is strictly later
+// than the wake would be, the RunUntil deadline is not in between, and
+// Stop has not been called — handing control to the kernel would only pop
+// this Proc's own wake event straight back. In that case the Proc advances
+// the clock in place and keeps running, skipping the two goroutine
+// switches of the park/resume handshake. The event timeline is identical:
+// by construction no event exists in the skipped window, and relative
+// schedule order (which decides same-instant ties) is unchanged.
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	p.wakeAt(p.k.now + d)
+	k := p.k
+	at := k.now + d
+	if !k.stopped && k.fifoHead >= len(k.fifo) &&
+		(len(k.heap) == 0 || k.arena[k.heap[0]].at > at) &&
+		(k.deadline < 0 || at <= k.deadline) {
+		k.now = at
+		if k.audit != nil {
+			k.audit.Checkf(k.now >= p.lastNow, "sim.proc.monotone",
+				"proc %s resumed at %v after observing %v", p.name, k.now, p.lastNow)
+			p.lastNow = k.now
+		}
+		return
+	}
+	p.wakeAt(at)
 	p.park()
 }
 

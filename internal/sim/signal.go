@@ -5,8 +5,11 @@ import "time"
 // A Signal is a broadcast condition variable in virtual time. Procs block on
 // Wait or WaitTimeout; Broadcast wakes every currently blocked waiter. A
 // Signal has no memory: a Broadcast with no waiters is a no-op.
+//
+// The zero value is ready to use — the kernel is reached through the
+// waiting Procs — so per-request structs embed a Signal by value instead of
+// allocating one per request.
 type Signal struct {
-	k       *Kernel
 	waiters []waiterRef
 }
 
@@ -20,6 +23,13 @@ type waiter struct {
 	seq      uint64
 	fired    bool // woken by Broadcast or timeout; skip further wakes
 	timedOut bool
+
+	// timer is the pending WaitTimeout expiry event (noEvent when none) and
+	// timerSeq the wait generation it was armed for. A Broadcast-won wait
+	// cancels its timer on resume so dead timers never linger in the event
+	// queue.
+	timer    eventID
+	timerSeq uint64
 }
 
 // waiterRef is one entry in a Signal's waiter list: the Proc's wait record
@@ -31,8 +41,9 @@ type waiterRef struct {
 	seq uint64
 }
 
-// NewSignal returns a Signal bound to kernel k.
-func (k *Kernel) NewSignal() *Signal { return &Signal{k: k} }
+// NewSignal returns a fresh Signal. Retained for convenience; &Signal{} or
+// an embedded value works just as well.
+func (k *Kernel) NewSignal() *Signal { return &Signal{} }
 
 // arm resets p's wait record for a fresh wait and enqueues it.
 func (s *Signal) arm(p *Proc) *waiter {
@@ -57,16 +68,17 @@ func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
 		panic("sim: negative timeout")
 	}
 	w := s.arm(p)
-	seq := w.seq
-	s.k.After(d, func() {
-		if w.seq != seq || w.fired {
-			return // the wait already ended (and w may be serving a later wait)
-		}
-		w.fired = true
-		w.timedOut = true
-		w.p.wakeAt(s.k.now)
-	})
+	w.timerSeq = w.seq
+	w.timer = p.k.schedule(p.k.now+d, p.timerFn)
 	p.park()
+	if !w.timedOut {
+		// Broadcast won the race: the expiry event is dead weight — cancel
+		// it so watchdog-heavy runs don't carry armies of spent timers in
+		// the queue until they fire as no-ops.
+		p.k.cancel(w.timer)
+		w.timer = noEvent
+	}
+	w.timerSeq = 0 // wait generations start at 1; 0 can never match
 	return !w.timedOut
 }
 
@@ -81,9 +93,32 @@ func (s *Signal) Broadcast() {
 			continue
 		}
 		ref.w.fired = true
-		ref.w.p.wakeAt(s.k.now)
+		ref.w.p.wakeAt(ref.w.p.k.now)
 	}
 	s.waiters = s.waiters[:0]
+}
+
+// Wake wakes up to n Procs currently blocked on the Signal, oldest waits
+// first, and reports how many it woke. Waiters not woken stay queued in
+// order. Queues use it to wake exactly one getter per item: under a full
+// Broadcast the herd's extra waiters wake at the same instant, find nothing,
+// and re-arm in the same relative order — identical outcome, minus the
+// spurious park/resume round trips.
+func (s *Signal) Wake(n int) int {
+	woken := 0
+	i := 0
+	for ; i < len(s.waiters) && woken < n; i++ {
+		ref := s.waiters[i]
+		if ref.w.seq != ref.seq || ref.w.fired {
+			continue
+		}
+		ref.w.fired = true
+		ref.w.p.wakeAt(ref.w.p.k.now)
+		woken++
+	}
+	m := copy(s.waiters, s.waiters[i:])
+	s.waiters = s.waiters[:m]
+	return woken
 }
 
 // WaiterCount reports how many Procs are currently blocked on the Signal.

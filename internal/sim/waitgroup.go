@@ -4,14 +4,13 @@ package sim
 // sync.WaitGroup it is safe to Add after waiters have blocked, because all
 // execution is serialized by the kernel.
 type WaitGroup struct {
-	k    *Kernel
 	n    int
-	zero *Signal
+	zero Signal
 }
 
 // NewWaitGroup returns a WaitGroup with count zero.
 func (k *Kernel) NewWaitGroup() *WaitGroup {
-	return &WaitGroup{k: k, zero: k.NewSignal()}
+	return &WaitGroup{}
 }
 
 // Add increments the count by delta, which may be negative.

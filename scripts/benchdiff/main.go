@@ -20,6 +20,12 @@
 //
 //	go run ./scripts/benchdiff -baseline '' -zero 'BenchmarkKernel' bench.txt
 //
+// -match REGEXP restricts the baseline comparison to matching benchmark
+// names (both sides), so a blocking CI step can gate just the deterministic
+// kernel microbenchmarks while the full noisy suite stays advisory:
+//
+//	go run ./scripts/benchdiff -match '^BenchmarkKernel' -baseline BENCH_baseline.json bench.txt
+//
 // ns/op is compared within ±threshold (default 10%); allocs/op likewise but
 // a difference of at most one allocation is always tolerated (tiny counts
 // jitter with testing.B accounting). Benchmarks present in only one of the
@@ -114,7 +120,18 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional drift per metric")
 	note := flag.String("note", "", "note stored in the baseline (with -write)")
 	zero := flag.String("zero", "", "regexp of benchmarks that must report 0 allocs/op (blocking)")
+	match := flag.String("match", "", "regexp restricting the baseline comparison to matching benchmarks")
 	flag.Parse()
+
+	var matchRe *regexp.Regexp
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: -match: %v\n", err)
+			os.Exit(2)
+		}
+		matchRe = re
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
@@ -192,6 +209,9 @@ func main() {
 	failed := 0
 	compared := 0
 	for _, name := range sortedNames(got) {
+		if matchRe != nil && !matchRe.MatchString(name) {
+			continue
+		}
 		g := got[name]
 		b, ok := base.Benchmarks[name]
 		if !ok {
@@ -214,9 +234,16 @@ func main() {
 			status, name, b.NsPerOp, g.NsPerOp, pct(g.NsPerOp, b.NsPerOp), b.AllocsPerOp, g.AllocsPerOp)
 	}
 	for _, name := range sortedNames(base.Benchmarks) {
+		if matchRe != nil && !matchRe.MatchString(name) {
+			continue
+		}
 		if _, ok := got[name]; !ok {
 			fmt.Printf("MISSING  %-45s (in baseline, not in this run)\n", name)
 		}
+	}
+	if matchRe != nil && compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -match %q compared no benchmarks against the baseline\n", *match)
+		os.Exit(2)
 	}
 	fmt.Printf("benchdiff: %d compared, %d beyond ±%.0f%%\n", compared, failed, *threshold*100)
 	if failed > 0 || zeroFailed > 0 {
