@@ -23,6 +23,14 @@
 // -replicas N stripes each file across N replicas (rack-stride placement);
 // reads fail over between replicas and writes complete at a majority quorum
 // when crash faults are scheduled.
+//
+// -burst SPEC adds a burst-buffer write log on every compute node:
+// epoch-tagged checkpoint writes (ckpt-n1/ckpt-nn workloads) absorb into
+// the node-local log at log speed and drain to the PFS in the background;
+// an epoch is committed once every rank has sealed it. SPEC is "on" for
+// the defaults or "cap=64M,absorb=400M,drain=100M,seal=500us" form (see
+// burst.ParseSpec). "crash:client<rank>@T" in -faults crash-stops the job:
+// unsealed log records are lost, sealed ones replay on recovery.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"os"
 	"time"
 
+	"dualpar/internal/burst"
 	"dualpar/internal/cluster"
 	"dualpar/internal/core"
 	"dualpar/internal/fault"
@@ -41,7 +50,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "mpi-io-test", "demo|mpi-io-test|hpio|ior-mpi-io|noncontig|btio|s3asim|checkpoint|depreader")
+	workload := flag.String("workload", "mpi-io-test", "demo|mpi-io-test|hpio|ior-mpi-io|noncontig|btio|s3asim|checkpoint|ckpt-n1|ckpt-nn|depreader")
 	mode := flag.String("mode", "vanilla", "vanilla|collective|strategy2|dualpar|data-driven")
 	procs := flag.Int("procs", 64, "MPI processes")
 	mbytes := flag.Int64("mb", 64, "data volume in MiB")
@@ -57,6 +66,7 @@ func main() {
 	faults := flag.String("faults", "", "fault schedule, e.g. 'disk:1*10@5s-30s;crash:2@5s-20s;drop:102:0.2'")
 	replicas := flag.Int("replicas", 1, "data replicas per stripe (1 = unreplicated)")
 	audit := flag.Bool("audit", false, "arm the invariant oracles; violations exit 1 with a reproducer artifact")
+	burstSpec := flag.String("burst", "", "per-node burst-buffer write log: 'on' for defaults or 'cap=64M,absorb=400M,drain=100M,seal=500us'")
 	flag.Parse()
 
 	prog, err := buildWorkload(*workload, *procs, *mbytes<<20, *write)
@@ -108,6 +118,18 @@ func main() {
 		dcfg.CRMMaxRetries = 3
 		dcfg.CRMBackoff = 50 * time.Millisecond
 	}
+	if *burstSpec != "" {
+		spec := *burstSpec
+		if spec == "on" || spec == "default" {
+			spec = ""
+		}
+		bc, err := burst.ParseSpec(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ccfg.Burst = &bc
+	}
 	cl := cluster.New(ccfg)
 	if *slot > 0 {
 		dcfg.SlotEvery = *slot
@@ -128,7 +150,7 @@ func main() {
 	elapsed := pr.Elapsed()
 	rwLabel := rw(*write)
 	switch *workload {
-	case "btio", "checkpoint":
+	case "btio", "checkpoint", "ckpt-n1", "ckpt-nn":
 		rwLabel = "write" // these model write phases regardless of -write
 	case "s3asim":
 		rwLabel = "read+write"
@@ -149,6 +171,26 @@ func main() {
 	}
 	if c := pr.Cache(); c != nil {
 		fmt.Printf("cache:       %d gets, %d hits, %d evictions\n", c.Gets(), c.Hits(), c.Evictions())
+	}
+	if tier := cl.Burst(); tier != nil {
+		s := tier.Stats()
+		var meanLag time.Duration
+		if s.DrainOps > 0 {
+			meanLag = s.DrainLag / time.Duration(s.DrainOps)
+		}
+		fmt.Printf("burst:       %.1f MiB absorbed, %.1f MiB drained, %.1f MiB replayed, %.1f MiB discarded, stall %.1f ms, mean drain lag %.1f ms\n",
+			float64(s.Absorbed)/(1<<20), float64(s.Drained)/(1<<20),
+			float64(s.Replayed)/(1<<20), float64(s.Discarded)/(1<<20),
+			s.Stall.Seconds()*1e3, meanLag.Seconds()*1e3)
+		if err := tier.Err(); err != nil {
+			fmt.Printf("burst error: %v\n", err)
+		}
+	}
+	if pr.Crashed() {
+		fmt.Printf("crash:       client crash at %.2fs; last committed epoch %d\n",
+			pr.EndedAt.Seconds(), pr.CommittedEpoch())
+	} else if e := pr.CommittedEpoch(); e > 0 {
+		fmt.Printf("epochs:      %d committed\n", e)
 	}
 	if *audit {
 		fmt.Printf("audit:       all %d oracles held\n", runner.Auditor().Oracles())
@@ -273,6 +315,17 @@ func buildWorkload(name string, procs int, bytes int64, write bool) (workloads.P
 		if c.Checkpoints < 1 {
 			c.Checkpoints = 1
 		}
+		return c, nil
+	case "ckpt-n1", "ckpt-nn":
+		// Epoch checkpointing with per-epoch seals (N-1 shared file or N-N
+		// per-rank files); -mb sets the total volume across epochs.
+		c := workloads.DefaultEpochCheckpoint(name == "ckpt-n1")
+		c.Procs = procs
+		epochs := int(bytes / (int64(procs) * c.BlockBytes))
+		if epochs < 1 {
+			epochs = 1
+		}
+		c.Epochs = epochs
 		return c, nil
 	case "depreader":
 		d := workloads.DefaultDependentReader()

@@ -10,6 +10,7 @@ package cluster
 import (
 	"fmt"
 
+	"dualpar/internal/burst"
 	"dualpar/internal/check"
 	"dualpar/internal/disk"
 	"dualpar/internal/fault"
@@ -51,6 +52,11 @@ type Config struct {
 	// degradation and transient drops, and server stall/slowdown windows.
 	// An empty schedule leaves the run byte-identical to Faults == nil.
 	Faults *fault.Schedule
+	// Burst, when non-nil, adds per-compute-node burst-buffer write logs:
+	// checkpoint writes tagged with an epoch absorb into the node's log and
+	// drain to the PFS in the background. Nil takes none of the burst code
+	// paths, leaving the run byte-identical to a build without the tier.
+	Burst *burst.Config
 }
 
 // DefaultConfig matches the paper's platform: 9 data servers + 1 metadata
@@ -77,6 +83,7 @@ type Cluster struct {
 	Stores []*fs.Store
 	cfg    Config
 	inj    *fault.Injector
+	tier   *burst.Tier
 }
 
 // New builds a cluster.
@@ -149,7 +156,13 @@ func New(cfg Config) *Cluster {
 			st.SetObs(cfg.Obs)
 		}
 	}
-	return &Cluster{K: k, Net: net, FS: fsys, Stores: stores, cfg: cfg, inj: inj}
+	var tier *burst.Tier
+	if cfg.Burst != nil {
+		tier = burst.NewTier(k, *cfg.Burst, func(node int) burst.Writer {
+			return fsys.Client(node)
+		}, cfg.Obs)
+	}
+	return &Cluster{K: k, Net: net, FS: fsys, Stores: stores, cfg: cfg, inj: inj, tier: tier}
 }
 
 // flusherOriginBase keeps server-flusher origins away from program origins.
@@ -189,6 +202,9 @@ func (c *Cluster) EnableAudit(a *check.Auditor) {
 			return nil
 		})
 	}
+	if c.tier != nil {
+		c.tier.RegisterAudit(a)
+	}
 }
 
 // Obs returns the cluster-wide collector (nil when tracing is off).
@@ -213,6 +229,9 @@ func (c *Cluster) EnableObs(col *obs.Collector) {
 // Faults returns the cluster's fault injector (nil when no schedule was
 // configured; a nil injector is safe to query).
 func (c *Cluster) Faults() *fault.Injector { return c.inj }
+
+// Burst returns the cluster's burst-buffer tier (nil when not configured).
+func (c *Cluster) Burst() *burst.Tier { return c.tier }
 
 // ComputeNodes returns the compute-node ids.
 func (c *Cluster) ComputeNodes() []int {

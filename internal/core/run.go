@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dualpar/internal/burst"
 	"dualpar/internal/check"
 	"dualpar/internal/cluster"
 	"dualpar/internal/ext"
@@ -116,6 +117,16 @@ func (r *Runner) Add(prog workloads.Program, mode Mode, opts AddOptions) *Progra
 		pr.ctrl = newController(pr)
 	}
 	pr.recentRankBps = 4e6 // until EMC measures real throughput
+	if inj := r.cl.Faults(); inj.HasClientCrashWindows() {
+		// A client crash aborts the whole job (every program whose rank
+		// space covers the crashed rank). Registered here, before the
+		// kernel runs, like the server-state listeners.
+		inj.OnClientState(func(rank int, at time.Duration) {
+			if rank >= 0 && rank < pr.prog.Ranks() {
+				pr.clientCrash(at)
+			}
+		})
+	}
 	r.progs = append(r.progs, pr)
 	return pr
 }
@@ -137,7 +148,9 @@ func (r *Runner) Run(maxTime time.Duration) bool {
 	}
 	if r.audit != nil {
 		for _, pr := range r.progs {
-			if pr.Done && pr.cache != nil {
+			// A crashed program legitimately dies with dirty cached bytes;
+			// only a clean finish promises the drain.
+			if pr.Done && !pr.crashed && pr.cache != nil {
 				r.audit.Checkf(pr.cache.DirtyBytes() == 0, "memcache.dirty.drain",
 					"program %d finished with %d dirty bytes in its cache",
 					pr.id, pr.cache.DirtyBytes())
@@ -173,6 +186,11 @@ type ProgramRun struct {
 	crmOrigin  int
 	dataDriven bool
 	disabled   bool // data-driven permanently disabled by mis-prefetch
+	crashed    bool // aborted by an injected client crash
+
+	// epochs tracks sealed checkpoint epochs per rank (lazily created at
+	// the first OpSeal; nil for programs without checkpoint epochs).
+	epochs *burst.Epochs
 
 	// Mis-prefetch accounting (per prefetch cycle).
 	prefetchedCycle int64
@@ -322,6 +340,12 @@ func (pr *ProgramRun) rankLoop(p *sim.Proc, rank int) {
 	gen := pr.prog.NewRank(rank)
 	env := workloads.TrueEnv{}
 	for {
+		// A crashed program's surviving ranks stop at the next op boundary
+		// (their in-flight op completes, then the proc exits; ranks wedged
+		// in a barrier stay parked, which is harmless).
+		if pr.crashed {
+			return
+		}
 		op := gen.Next(env)
 		switch op.Kind {
 		case workloads.OpDone:
@@ -335,6 +359,8 @@ func (pr *ProgramRun) rankLoop(p *sim.Proc, rank int) {
 			pr.read(p, rank, gen, op)
 		case workloads.OpWrite:
 			pr.write(p, rank, gen, op)
+		case workloads.OpSeal:
+			pr.seal(p, rank, op)
 		default:
 			panic(fmt.Sprintf("core: unknown op kind %d", op.Kind))
 		}
@@ -382,9 +408,14 @@ func (pr *ProgramRun) read(p *sim.Proc, rank int, gen workloads.RankGen, op work
 	}
 }
 
-// write dispatches a write op according to the current mode.
+// write dispatches a write op according to the current mode. Epoch-tagged
+// checkpoint writes take the burst-buffer path whenever the cluster has a
+// tier, regardless of mode: the log is the write path, and the seal that
+// follows defines the epoch's durability.
 func (pr *ProgramRun) write(p *sim.Proc, rank int, gen workloads.RankGen, op workloads.Op) {
 	switch {
+	case op.Epoch > 0 && pr.r.cl.Burst() != nil:
+		pr.burstWrite(p, rank, op)
 	case pr.dataDriven:
 		pr.dataDrivenWrite(p, rank, op)
 	case pr.mode == ModeCollective:
@@ -392,6 +423,67 @@ func (pr *ProgramRun) write(p *sim.Proc, rank int, gen workloads.RankGen, op wor
 	default:
 		pr.file(op.File).WriteExtents(p, rank, op.Extents)
 	}
+}
+
+// burstWrite absorbs an epoch-tagged checkpoint write into the rank's
+// node-local burst log; the tier drains it to the PFS in the background.
+func (pr *ProgramRun) burstWrite(p *sim.Proc, rank int, op workloads.Op) {
+	start := p.Now()
+	node := pr.world.Node(rank)
+	rc := pr.rankRequest(rank)
+	pr.r.cl.Burst().Log(node).Append(p, rank, op.Epoch, op.File, op.Extents)
+	pr.instr.Record(p.Now(), op.File, op.Extents)
+	pr.instr.Span(rank, start, p.Now(), op.Bytes())
+	if rc.Traced() {
+		pr.obs().Span(rc.ID, obs.StageRequest, rc.Track, start, p.Now(),
+			obs.Str("verb", "burst-write"), obs.I64("bytes", op.Bytes()),
+			obs.I64("epoch", int64(op.Epoch)))
+	}
+}
+
+// seal commits a checkpoint epoch for one rank. On the burst path it seals
+// the rank's log records (making them crash-durable); on the direct path
+// the preceding synchronous writes already reached the PFS, so the seal is
+// pure bookkeeping. Either way the rank's sealed epoch advances, and the
+// epoch every rank has sealed is the one a restart recovers.
+func (pr *ProgramRun) seal(p *sim.Proc, rank int, op workloads.Op) {
+	if tier := pr.r.cl.Burst(); tier != nil {
+		tier.Log(pr.world.Node(rank)).Seal(p, rank, op.Epoch)
+	}
+	if pr.epochs == nil {
+		pr.epochs = burst.NewEpochs(pr.prog.Ranks())
+	}
+	pr.epochs.Seal(rank, op.Epoch)
+}
+
+// clientCrash aborts the whole program at the fault window's start: ranks
+// stop at their next op boundary, the node-local burst logs crash-stop
+// (unsealed records will be lost), and the run counts as done-by-failure.
+func (pr *ProgramRun) clientCrash(at time.Duration) {
+	if pr.crashed || pr.Done {
+		return
+	}
+	pr.crashed = true
+	pr.Done = true
+	pr.EndedAt = at
+	pr.obs().Instant("client.crash", pr.ctrlTrack(), at, obs.I64("program", int64(pr.id)))
+	if tier := pr.r.cl.Burst(); tier != nil {
+		for _, n := range pr.nodes {
+			tier.CrashNode(n, at)
+		}
+	}
+}
+
+// Crashed reports whether an injected client crash aborted the program.
+func (pr *ProgramRun) Crashed() bool { return pr.crashed }
+
+// CommittedEpoch returns the newest checkpoint epoch sealed by every rank
+// (0 when no epoch committed — restart has nothing to recover).
+func (pr *ProgramRun) CommittedEpoch() int {
+	if pr.epochs == nil {
+		return 0
+	}
+	return pr.epochs.Committed()
 }
 
 // dataDrivenRead serves a read from the global cache, suspending the rank

@@ -46,6 +46,13 @@ const (
 	// pre-crash durable state but without its in-flight request queue; a
 	// window without an end is a permanent failure.
 	ServerCrash
+	// ClientCrash is a crash-stop failure of one compute client (Target is
+	// an MPI rank index): the whole job aborts at the window start, losing
+	// every checkpoint epoch not yet sealed in the host-side burst log.
+	// There is no recovery window — restart is a recovery-phase action
+	// (replay sealed-but-undrained log records, re-read the last committed
+	// epoch), driven by the harness after the crashed run ends.
+	ClientCrash
 )
 
 // String implements fmt.Stringer.
@@ -63,6 +70,8 @@ func (k Kind) String() string {
 		return "slow"
 	case ServerCrash:
 		return "crash"
+	case ClientCrash:
+		return "client-crash"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -121,6 +130,10 @@ func (w Window) Validate() error {
 		}
 	case ServerCrash:
 		// No factor or probability; an open window is a permanent failure.
+	case ClientCrash:
+		if w.End > 0 {
+			return fmt.Errorf("fault: client crash takes no recovery window (restart is a recovery-phase action)")
+		}
 	default:
 		return fmt.Errorf("fault: unknown kind %d", int(w.Kind))
 	}
@@ -163,6 +176,10 @@ type Injector struct {
 	// serverNodes maps data-server index -> network node id, so the
 	// transport can refuse delivery to crashed servers (NodeCrashed).
 	serverNodes map[int]int
+	// onClient receives compute-client crash transitions (rank, at), in
+	// schedule order at the window start event. Registered before the
+	// kernel runs; never mutated afterwards.
+	onClient []func(rank int, at time.Duration)
 }
 
 // NewInjector creates an injector for sch on kernel k. It panics on an
@@ -188,6 +205,9 @@ func NewInjector(k *sim.Kernel, sch *Schedule, seed int64, c *obs.Collector) *In
 				obs.F64("factor", w.Factor), obs.F64("prob", w.Prob))
 			if w.Kind == ServerCrash {
 				inj.notifyServer(w.Target, false, k.Now())
+			}
+			if w.Kind == ClientCrash {
+				inj.notifyClient(w.Target, k.Now())
 			}
 		})
 		if w.End > 0 {
@@ -218,6 +238,38 @@ func (inj *Injector) notifyServer(server int, up bool, at time.Duration) {
 	for _, fn := range inj.onServer {
 		fn(server, up, at)
 	}
+}
+
+// OnClientState registers a listener for compute-client crash transitions.
+// Listeners run at the window start in schedule order. Register before the
+// kernel starts running. There is no recovery transition: a client crash
+// aborts the job, and restart is a harness-driven recovery phase.
+func (inj *Injector) OnClientState(fn func(rank int, at time.Duration)) {
+	if inj == nil {
+		return
+	}
+	inj.onClient = append(inj.onClient, fn)
+}
+
+func (inj *Injector) notifyClient(rank int, at time.Duration) {
+	for _, fn := range inj.onClient {
+		fn(rank, at)
+	}
+}
+
+// HasClientCrashWindows reports whether the schedule crashes any compute
+// client. HasCrashWindows stays server-only on purpose: client crashes must
+// not flip the PFS onto its crash-aware code path.
+func (inj *Injector) HasClientCrashWindows() bool {
+	if inj == nil {
+		return false
+	}
+	for _, w := range inj.windows {
+		if w.Kind == ClientCrash {
+			return true
+		}
+	}
+	return false
 }
 
 // Crashed reports whether a data server is crash-stopped at now.

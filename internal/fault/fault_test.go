@@ -34,6 +34,18 @@ func TestParseCrash(t *testing.T) {
 	checkParse(t, sch, want)
 }
 
+func TestParseClientCrash(t *testing.T) {
+	sch, err := Parse("crash:client3@500ms; crash:client0@2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Window{
+		{Kind: ClientCrash, Target: 3, Factor: 1, Start: 500 * time.Millisecond},
+		{Kind: ClientCrash, Target: 0, Factor: 1, Start: 2 * time.Second},
+	}
+	checkParse(t, sch, want)
+}
+
 func checkParse(t *testing.T, sch *Schedule, want []Window) {
 	t.Helper()
 	if len(sch.Windows) != len(want) {
@@ -58,25 +70,31 @@ func TestParseEmpty(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{
-		"melt:1*2",          // unknown kind
-		"disk:1*0.5",        // factor < 1
-		"drop:5",            // drop without probability
-		"drop:5:1.5",        // probability out of range
-		"stall:2",           // stall without an end
-		"disk:1*10@30s-5s",  // end before start
-		"disk:x*2",          // bad target
-		"disk:1*2@later-5s", // bad duration
-		"slow:1:0.5",        // stray field on a non-drop kind
-		"disk:1*",           // empty factor
-		"disk:1*2@5s@30s",   // duplicate '@'
-		"drop:5:-0.2",       // negative probability
-		"disk:1*NaN",        // non-finite factor
-		"disk:1*+Inf",       // non-finite factor
-		"drop:5:NaN",        // non-finite probability
-		"disk:1*2@1s--2s",   // negative end
-		"stall:2*3@1s-2s",   // factor on a kind that takes none
-		"crash:2*3@1s",      // factor on a kind that takes none
-		"crash:2:0.5@1s",    // stray field on crash
+		"melt:1*2",             // unknown kind
+		"disk:1*0.5",           // factor < 1
+		"drop:5",               // drop without probability
+		"drop:5:1.5",           // probability out of range
+		"stall:2",              // stall without an end
+		"disk:1*10@30s-5s",     // end before start
+		"disk:x*2",             // bad target
+		"disk:1*2@later-5s",    // bad duration
+		"slow:1:0.5",           // stray field on a non-drop kind
+		"disk:1*",              // empty factor
+		"disk:1*2@5s@30s",      // duplicate '@'
+		"drop:5:-0.2",          // negative probability
+		"disk:1*NaN",           // non-finite factor
+		"disk:1*+Inf",          // non-finite factor
+		"drop:5:NaN",           // non-finite probability
+		"disk:1*2@1s--2s",      // negative end
+		"stall:2*3@1s-2s",      // factor on a kind that takes none
+		"crash:2*3@1s",         // factor on a kind that takes none
+		"crash:2:0.5@1s",       // stray field on crash
+		"crash:client3@1s-2s",  // client crash takes no recovery window
+		"crash:client@1s",      // client crash without a rank
+		"crash:clientX@1s",     // bad client rank
+		"crash:client-1@1s",    // negative client rank
+		"crash:client3*2@1s",   // factor on a kind that takes none
+		"crash:client3:0.5@1s", // stray field on client crash
 	} {
 		_, err := Parse(spec)
 		if err == nil {
@@ -176,6 +194,54 @@ func TestServerStateNotifications(t *testing.T) {
 			t.Errorf("transition %d = %+v, want %+v", i, got[i], want[i])
 		}
 	}
+}
+
+func TestClientCrashNotifications(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k, &Schedule{Windows: []Window{
+		{Kind: ClientCrash, Target: 3, Start: 5 * time.Second},
+		{Kind: ClientCrash, Target: 1, Start: 2 * time.Second},
+	}}, 7, nil)
+	if !inj.HasClientCrashWindows() {
+		t.Error("HasClientCrashWindows false with client-crash windows present")
+	}
+	if inj.HasCrashWindows() {
+		t.Error("client crashes must not count as server crash windows")
+	}
+	type ev struct {
+		rank int
+		at   time.Duration
+	}
+	var got []ev
+	inj.OnClientState(func(rank int, at time.Duration) {
+		got = append(got, ev{rank, at})
+	})
+	var serverTransitions int
+	inj.OnServerState(func(int, bool, time.Duration) { serverTransitions++ })
+	k.RunUntil(time.Hour)
+	want := []ev{{1, 2 * time.Second}, {3, 5 * time.Second}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d transitions %+v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("transition %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if serverTransitions != 0 {
+		t.Errorf("client crashes fired %d server transitions", serverTransitions)
+	}
+	server := NewInjector(sim.NewKernel(1), &Schedule{Windows: []Window{
+		{Kind: ServerCrash, Target: 1, Start: time.Second},
+	}}, 7, nil)
+	if server.HasClientCrashWindows() {
+		t.Error("HasClientCrashWindows true with only server crashes")
+	}
+	var nilInj *Injector
+	if nilInj.HasClientCrashWindows() {
+		t.Error("nil injector has client-crash windows")
+	}
+	nilInj.OnClientState(func(int, time.Duration) {}) // must not panic
 }
 
 func TestRecoveryNotSignaledWhileStillCrashed(t *testing.T) {

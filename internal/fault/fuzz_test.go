@@ -18,6 +18,10 @@ func FuzzParse(f *testing.F) {
 		"slow:4*2.5@100ms",
 		"crash:2@5s",
 		"crash:2@5s-20s",
+		"crash:client3@500ms",
+		"crash:client3@1s-2s",
+		"crash:client@1s",
+		"crash:clientX@1s",
 		"drop:5:0.95",
 		"disk:1*",
 		"disk:1*2@5s@30s",

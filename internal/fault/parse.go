@@ -26,6 +26,11 @@ import (
 //	link:3*4             node 3's links serialize 4x slower
 //	crash:2@5s           server 2 crash-stops at t=5s, forever
 //	crash:2@5s-20s       the same, but it recovers at t=20s
+//	crash:client3@5s     compute client rank 3 crash-stops at t=5s
+//
+// A crash target with a "client" prefix selects a compute client (MPI
+// rank) instead of a data server; client crashes take no recovery window —
+// restart is a recovery-phase action driven by the harness.
 //
 // Every rejected spec names the offending entry in the error.
 func Parse(spec string) (*Schedule, error) {
@@ -87,6 +92,13 @@ func parseWindow(entry string) (Window, error) {
 		return w, fmt.Errorf("fault: %q: unknown kind %q", entry, fields[0])
 	}
 	tgt := fields[1]
+	if w.Kind == ServerCrash && strings.HasPrefix(tgt, "client") {
+		w.Kind = ClientCrash
+		tgt = tgt[len("client"):]
+		if tgt == "" {
+			return w, fmt.Errorf("fault: %q: client crash wants crash:client<rank>", entry)
+		}
+	}
 	w.Factor = 1
 	if star := strings.IndexByte(tgt, '*'); star >= 0 {
 		if !takesFactor {

@@ -63,15 +63,7 @@ func VerifyIntegrity(cl *cluster.Cluster) error {
 	// The verifier shares the kernel with forever-looping daemons (store
 	// flushers), so drive it in bounded steps rather than running the kernel
 	// dry.
-	deadline := cl.K.Now() + 30*time.Minute
-	for !done && cl.K.Now() < deadline {
-		step := cl.K.Now() + time.Second
-		if step > deadline {
-			step = deadline
-		}
-		cl.K.RunUntil(step)
-	}
-	if !done {
+	if !driveKernel(cl, &done, 30*time.Minute) {
 		return fmt.Errorf("harness: integrity verification did not complete (reads wedged)")
 	}
 	return verr

@@ -30,6 +30,11 @@ const (
 	OpRead
 	OpWrite
 	OpBarrier
+	// OpSeal marks the rank's checkpoint epoch durable: on the direct write
+	// path the preceding synchronous writes already reached the PFS, so the
+	// seal is pure bookkeeping; on the burst-buffer path it seals the
+	// epoch's log records, committing them to survive a client crash.
+	OpSeal
 )
 
 // Op is one step of a rank's execution.
@@ -38,6 +43,9 @@ type Op struct {
 	Dur     time.Duration // OpCompute
 	File    string        // OpRead/OpWrite
 	Extents []ext.Extent  // OpRead/OpWrite
+	// Epoch tags OpWrite/OpSeal with a 1-based checkpoint epoch; 0 means
+	// the op is not checkpoint data (and is never routed to a burst log).
+	Epoch int
 }
 
 // Bytes returns the I/O volume of the op.
