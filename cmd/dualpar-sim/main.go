@@ -24,6 +24,14 @@
 // reads fail over between replicas and writes complete at a majority quorum
 // when crash faults are scheduled.
 //
+// -tenants SPEC switches to multi-tenant mode: instead of one workload, a
+// seeded generator launches each tenant's stream of small jobs onto one
+// shared cluster and the cluster-wide arbiter rations data-driven grants
+// under the spec's policy (see tenant.ParseSpec), e.g.
+// "tenants:4,arrival=poisson:12,policy=fair,grants=12,cache=64M,jobs=40,ranks=2,hot=0x6".
+// The run prints per-tenant job counts, grant/deny/revoke totals, and
+// elapsed-time percentiles; -workload and -mode are ignored.
+//
 // -burst SPEC adds a burst-buffer write log on every compute node:
 // epoch-tagged checkpoint writes (ckpt-n1/ckpt-nn workloads) absorb into
 // the node-local log at log speed and drain to the PFS in the background;
@@ -36,7 +44,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"time"
 
 	"dualpar/internal/burst"
@@ -46,6 +56,8 @@ import (
 	"dualpar/internal/iosched"
 	"dualpar/internal/obs"
 	"dualpar/internal/obs/analyze"
+	"dualpar/internal/sim"
+	"dualpar/internal/tenant"
 	"dualpar/internal/workloads"
 )
 
@@ -67,7 +79,16 @@ func main() {
 	replicas := flag.Int("replicas", 1, "data replicas per stripe (1 = unreplicated)")
 	audit := flag.Bool("audit", false, "arm the invariant oracles; violations exit 1 with a reproducer artifact")
 	burstSpec := flag.String("burst", "", "per-node burst-buffer write log: 'on' for defaults or 'cap=64M,absorb=400M,drain=100M,seal=500us'")
+	tenants := flag.String("tenants", "", "multi-tenant mode: tenancy spec (see tenant.ParseSpec), e.g. 'tenants:4,arrival=poisson:12,policy=fair,grants=12,jobs=40,ranks=2'")
 	flag.Parse()
+
+	if *tenants != "" {
+		if err := runTenants(*tenants, *seed, *slot, *audit); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	prog, err := buildWorkload(*workload, *procs, *mbytes<<20, *write)
 	if err != nil {
@@ -256,6 +277,138 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runTenants drives the multi-tenant mode: the seeded generator's full job
+// schedule runs on one shared tenanted cluster (open-loop kinds submit at
+// their arrival times from a single driver proc; the closed-loop kind
+// spawns one proc per tenant worker), then per-tenant outcomes print as a
+// small table. Deterministic per spec+seed.
+func runTenants(spec string, seed int64, slot time.Duration, audit bool) error {
+	tc, err := tenant.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	tc.Seed = seed
+	ccfg := cluster.DefaultConfig()
+	ccfg.Seed = seed
+	ccfg.Tenancy = &tc
+	cl := cluster.New(ccfg)
+	dcfg := core.DefaultConfig()
+	dcfg.SlotEvery = 250 * time.Millisecond
+	if slot > 0 {
+		dcfg.SlotEvery = slot
+	}
+	dcfg.Audit = audit
+	runner := core.NewRunner(cl, dcfg)
+	sched := tenant.Schedule(tc)
+	runs := make([]*core.ProgramRun, len(sched))
+	addJob := func(p *sim.Proc, i int, onDone func()) {
+		j := sched[i]
+		d := workloads.DefaultDemo()
+		d.Procs = tc.Ranks
+		d.SegBytes = 4 << 10
+		d.SegsPerCall = 4
+		d.FileName = fmt.Sprintf("t%dj%d.dat", j.Tenant, j.Index)
+		switch j.Class {
+		case "s":
+			d.FileBytes = 96 << 10
+		case "m":
+			d.FileBytes = 192 << 10
+		default:
+			d.FileBytes = 384 << 10
+		}
+		m := core.ModeVanilla
+		if j.Mode == "dualpar" {
+			m = core.ModeDataDriven
+		}
+		runs[i] = runner.Add(d, m, core.AddOptions{
+			RanksPerNode:   tc.Ranks,
+			FirstNodeIndex: i % ccfg.ComputeNodes,
+			StartAt:        p.Now(),
+			Tenant:         j.Tenant,
+			OnDone:         onDone,
+		})
+	}
+	if tc.Arrival.Kind == tenant.ArrivalClosed {
+		byWorker := make(map[[2]int][]int)
+		for i, j := range sched {
+			k := [2]int{j.Tenant, j.Worker}
+			byWorker[k] = append(byWorker[k], i)
+		}
+		for t := 0; t < tc.Tenants; t++ {
+			for w := 0; w < tc.Arrival.Workers; w++ {
+				idxs := byWorker[[2]int{t, w}]
+				cl.K.Spawn(fmt.Sprintf("tenant%d/worker%d", t, w), func(p *sim.Proc) {
+					for _, i := range idxs {
+						sig := cl.K.NewSignal()
+						done := false
+						addJob(p, i, func() { done = true; sig.Broadcast() })
+						for !done {
+							sig.Wait(p)
+						}
+						if tc.Arrival.Think > 0 {
+							p.Sleep(tc.Arrival.Think)
+						}
+					}
+				})
+			}
+		}
+	} else {
+		cl.K.Spawn("tenant/arrivals", func(p *sim.Proc) {
+			for i := range sched {
+				if at := sched[i].At; at > p.Now() {
+					p.Sleep(at - p.Now())
+				}
+				addJob(p, i, nil)
+			}
+		})
+	}
+	finished := runner.Run(24 * time.Hour)
+	if err := runner.AuditErr(); err != nil {
+		return err
+	}
+	arb := cl.Arbiter()
+	fmt.Printf("tenancy:     %s\n", tc)
+	fmt.Printf("jobs:        %d across %d tenants", len(sched), tc.Tenants)
+	if !finished {
+		fmt.Printf(" (some unfinished at 24h budget)")
+	}
+	fmt.Println()
+	var makespan time.Duration
+	fmt.Println("tenant  jobs  granted  denied  revoked  mean_ms    p99_ms")
+	for t := 0; t < tc.Tenants; t++ {
+		var els []time.Duration
+		var sum time.Duration
+		for i, pr := range runs {
+			if pr == nil || sched[i].Tenant != t || !pr.Done {
+				continue
+			}
+			els = append(els, pr.Elapsed())
+			sum += pr.Elapsed()
+			if pr.EndedAt > makespan {
+				makespan = pr.EndedAt
+			}
+		}
+		var mean, p99 time.Duration
+		if len(els) > 0 {
+			mean = sum / time.Duration(len(els))
+			sort.Slice(els, func(i, k int) bool { return els[i] < els[k] })
+			idx := int(math.Ceil(0.99*float64(len(els)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			p99 = els[idx]
+		}
+		fmt.Printf("%-6d  %-4d  %-7d  %-6d  %-7d  %-9.1f  %-9.1f\n",
+			t, len(els), arb.Grants(t), arb.Denies(t), arb.Revokes(t),
+			mean.Seconds()*1e3, p99.Seconds()*1e3)
+	}
+	fmt.Printf("makespan:    %.3f s (simulated)\n", makespan.Seconds())
+	if audit {
+		fmt.Printf("audit:       all %d oracles held\n", runner.Auditor().Oracles())
+	}
+	return nil
 }
 
 func rw(write bool) string {

@@ -57,13 +57,14 @@ var experiments = map[string]func(harness.Opts) *harness.Result{
 	"straggler":    harness.Straggler,
 	"availability": harness.Availability,
 	"checkpoint":   harness.Checkpoint,
+	"multitenant":  harness.Multitenant,
 }
 
 var order = []string{
 	"fig1a", "fig1b", "fig1cd", "fig3", "fig4", "fig5", "table2", "fig6", "fig7", "fig8", "table3",
 	"ablate-sched", "ablate-t", "ablate-hole", "ablate-chunk", "ablate-origins", "ablate-cb", "ablate-ssd",
 	"ablate-writepath", "ablate-s2window", "ablate-servers", "ablate-pipeline",
-	"straggler", "availability", "checkpoint",
+	"straggler", "availability", "checkpoint", "multitenant",
 }
 
 func main() {

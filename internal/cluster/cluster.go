@@ -20,6 +20,7 @@ import (
 	"dualpar/internal/obs"
 	"dualpar/internal/pfs"
 	"dualpar/internal/sim"
+	"dualpar/internal/tenant"
 )
 
 // ComputeNodeBase is the first compute-node id.
@@ -57,6 +58,11 @@ type Config struct {
 	// drain to the PFS in the background. Nil takes none of the burst code
 	// paths, leaving the run byte-identical to a build without the tier.
 	Burst *burst.Config
+	// Tenancy, when non-nil, shares the cluster among competing tenants: a
+	// cluster-wide arbiter rations data-driven grants and (optionally)
+	// partitions cache capacity per tenant. Nil takes none of the tenancy
+	// code paths, leaving the run byte-identical to a build without it.
+	Tenancy *tenant.Config
 }
 
 // DefaultConfig matches the paper's platform: 9 data servers + 1 metadata
@@ -84,6 +90,7 @@ type Cluster struct {
 	cfg    Config
 	inj    *fault.Injector
 	tier   *burst.Tier
+	arb    *tenant.Arbiter
 }
 
 // New builds a cluster.
@@ -162,7 +169,14 @@ func New(cfg Config) *Cluster {
 			return fsys.Client(node)
 		}, cfg.Obs)
 	}
-	return &Cluster{K: k, Net: net, FS: fsys, Stores: stores, cfg: cfg, inj: inj, tier: tier}
+	var arb *tenant.Arbiter
+	if cfg.Tenancy != nil {
+		arb = tenant.NewArbiter(*cfg.Tenancy, k.Now)
+		if cfg.Obs != nil {
+			arb.SetObs(cfg.Obs)
+		}
+	}
+	return &Cluster{K: k, Net: net, FS: fsys, Stores: stores, cfg: cfg, inj: inj, tier: tier, arb: arb}
 }
 
 // flusherOriginBase keeps server-flusher origins away from program origins.
@@ -205,6 +219,12 @@ func (c *Cluster) EnableAudit(a *check.Auditor) {
 	if c.tier != nil {
 		c.tier.RegisterAudit(a)
 	}
+	if c.arb != nil {
+		c.arb.RegisterAudit(a)
+		// Final probes only run at quiescence (every program finished), the
+		// one point where all grants must have been returned.
+		a.RegisterFinalProbe("tenant.grants.leak", c.arb.CheckDrained)
+	}
 }
 
 // Obs returns the cluster-wide collector (nil when tracing is off).
@@ -224,6 +244,9 @@ func (c *Cluster) EnableObs(col *obs.Collector) {
 	for _, st := range c.Stores {
 		st.SetObs(col)
 	}
+	if c.arb != nil {
+		c.arb.SetObs(col)
+	}
 }
 
 // Faults returns the cluster's fault injector (nil when no schedule was
@@ -232,6 +255,10 @@ func (c *Cluster) Faults() *fault.Injector { return c.inj }
 
 // Burst returns the cluster's burst-buffer tier (nil when not configured).
 func (c *Cluster) Burst() *burst.Tier { return c.tier }
+
+// Arbiter returns the cluster-wide tenancy arbiter (nil when the cluster is
+// untenanted).
+func (c *Cluster) Arbiter() *tenant.Arbiter { return c.arb }
 
 // ComputeNodes returns the compute-node ids.
 func (c *Cluster) ComputeNodes() []int {

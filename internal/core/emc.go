@@ -34,6 +34,7 @@ type emc struct {
 	highSlots []int     // consecutive qualifying slots while computation-driven
 	ratioEWMA []float64 // smoothed per-program I/O ratio
 	ratioInit []bool    // ratioEWMA seeded with a first sample
+	ticking   bool      // a slot tick is scheduled
 
 	// Decisions logs every evaluation for analysis.
 	Decisions []Decision
@@ -62,36 +63,55 @@ func newEMC(r *Runner) *emc {
 // initState sizes the per-server and per-program sampling state.
 func (e *emc) initState() {
 	e.lastDisk = make([]disk.Stats, len(e.r.cl.Stores))
+	e.ensure()
+}
+
+// ensure grows the per-program state arrays to cover programs added while
+// the simulation is running (arrival drivers, closed loops).
+func (e *emc) ensure() {
 	n := len(e.r.progs)
-	e.lastIO = make([]time.Duration, n)
-	e.lastComp = make([]time.Duration, n)
-	e.lastBytes = make([]int64, n)
-	e.lastMis = make([]int, n)
-	e.lowSlots = make([]int, n)
-	e.highSlots = make([]int, n)
-	e.ratioEWMA = make([]float64, n)
-	e.ratioInit = make([]bool, n)
+	for len(e.lastIO) < n {
+		e.lastIO = append(e.lastIO, 0)
+		e.lastComp = append(e.lastComp, 0)
+		e.lastBytes = append(e.lastBytes, 0)
+		e.lastMis = append(e.lastMis, 0)
+		e.lowSlots = append(e.lowSlots, 0)
+		e.highSlots = append(e.highSlots, 0)
+		e.ratioEWMA = append(e.ratioEWMA, 0)
+		e.ratioInit = append(e.ratioInit, false)
+	}
 }
 
 // start arms the slot chain. It stops once every program has finished, so
-// the simulation can drain.
+// the simulation can drain; a mid-run Add re-arms it (Runner.Add).
 func (e *emc) start() {
 	e.initState()
-	var tick func()
-	tick = func() {
-		e.slot()
-		for _, pr := range e.r.progs {
-			if !pr.Done {
-				e.r.cl.K.After(e.r.cfg.SlotEvery, tick)
-				return
-			}
+	e.arm()
+}
+
+// arm schedules the next slot tick unless one is already pending.
+func (e *emc) arm() {
+	if e.ticking {
+		return
+	}
+	e.ticking = true
+	e.r.cl.K.After(e.r.cfg.SlotEvery, e.tick)
+}
+
+func (e *emc) tick() {
+	e.ticking = false
+	e.slot()
+	for _, pr := range e.r.progs {
+		if !pr.Done {
+			e.arm()
+			return
 		}
 	}
-	e.r.cl.K.After(e.r.cfg.SlotEvery, tick)
 }
 
 // slot is one sampling period.
 func (e *emc) slot() {
+	e.ensure()
 	now := e.r.cl.K.Now()
 	aveSeek, perSeek := e.sampleServers()
 	// ReqDist is a system-wide metric (§IV-B): the logs of all registered
@@ -205,7 +225,11 @@ func (e *emc) applyDecision(i int, pr *ProgramRun, active bool, ioRatio, improve
 		pr.setDataDriven(false)
 	case pr.mode != ModeDualPar:
 		// ModeDataDriven pins the mode on; only the mis-prefetch
-		// guard above can turn it off.
+		// guard above can turn it off. A pinned program the arbiter
+		// denied at Add retries its grant every slot.
+		if !pr.dataDriven {
+			pr.tryEnterDataDriven()
+		}
 	case !active:
 		// No evidence either way: leave the hysteresis counters alone.
 	case !pr.dataDriven && ioRatio > cfg.IORatioThreshold && improvement > cfg.TImprovement:
@@ -214,8 +238,14 @@ func (e *emc) applyDecision(i int, pr *ProgramRun, active bool, ioRatio, improve
 		// region and must not trip the mode.
 		e.highSlots[i]++
 		if e.highSlots[i] >= 2 {
-			pr.setDataDriven(true)
-			e.highSlots[i] = 0
+			if pr.tryEnterDataDriven() {
+				e.highSlots[i] = 0
+			} else {
+				// Arbiter denial: the program stays eligible and asks
+				// again next qualifying slot instead of re-earning its
+				// two-slot streak.
+				e.highSlots[i] = 2
+			}
 		}
 		e.lowSlots[i] = 0
 	case pr.dataDriven && ioRatio < cfg.IORatioThreshold/2:

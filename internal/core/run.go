@@ -13,17 +13,19 @@ import (
 	"dualpar/internal/mpiio"
 	"dualpar/internal/obs"
 	"dualpar/internal/sim"
+	"dualpar/internal/tenant"
 	"dualpar/internal/workloads"
 )
 
 // Runner executes a set of programs on a cluster, each under its own
 // execution mode, with one EMC daemon overseeing all DualPar programs.
 type Runner struct {
-	cl    *cluster.Cluster
-	cfg   Config
-	progs []*ProgramRun
-	emc   *emc
-	audit *check.Auditor // nil unless cfg.Audit
+	cl      *cluster.Cluster
+	cfg     Config
+	progs   []*ProgramRun
+	emc     *emc
+	audit   *check.Auditor // nil unless cfg.Audit
+	started bool           // Run has begun; later Adds start immediately
 }
 
 // NewRunner creates a runner on a cluster.
@@ -62,9 +64,20 @@ type AddOptions struct {
 	StartAt time.Duration
 	// MPIIO overrides the MPI-IO hints (zero value = mpiio defaults).
 	MPIIO mpiio.Config
+	// Tenant attributes the program to a tenant for grant arbitration and
+	// cache partitioning (meaningful only on a tenanted cluster).
+	Tenant int
+	// OnDone, when non-nil, fires once when the program ends (clean finish
+	// or client crash) — closed-loop drivers block on it before submitting
+	// their next job. It runs in simulation context.
+	OnDone func()
 }
 
-// Add registers a program with the given execution mode. Call before Run.
+// Add registers a program with the given execution mode. Programs added
+// before Run start when Run does; programs added while the simulation is
+// running (from simulation context — an arrival or closed-loop driver
+// proc) start immediately, with opts.StartAt interpreted as absolute
+// virtual time, so it must not lie in the past.
 func (r *Runner) Add(prog workloads.Program, mode Mode, opts AddOptions) *ProgramRun {
 	if opts.RanksPerNode <= 0 {
 		opts.RanksPerNode = 8
@@ -86,6 +99,8 @@ func (r *Runner) Add(prog workloads.Program, mode Mode, opts AddOptions) *Progra
 		world:   mpi.NewWorld(r.cl.K, r.cl.Net, placement),
 		instr:   mpiio.NewInstr(prog.Ranks()),
 		files:   make(map[string]*mpiio.File),
+		tenant:  opts.Tenant,
+		onDone:  opts.OnDone,
 	}
 	pr.origins = make([]int, prog.Ranks())
 	for i := range pr.origins {
@@ -102,12 +117,18 @@ func (r *Runner) Add(prog workloads.Program, mode Mode, opts AddOptions) *Progra
 	}
 	switch mode {
 	case ModeDataDriven:
-		pr.dataDriven = true
+		// A pinned program on a tenanted cluster still needs a grant; if
+		// the arbiter denies it now, the EMC retries every slot until one
+		// frees up (the program runs conventionally meanwhile).
+		pr.dataDriven = pr.acquireGrant()
 		fallthrough
 	case ModeDualPar, ModeStrategy2:
 		mc := r.cfg.Memcache
 		pr.cache = memcache.New(r.cl.K, r.cl.Net, mc, pr.nodes)
 		pr.cache.SetObs(r.cl.Obs())
+		if arb := r.cl.Arbiter(); arb != nil {
+			pr.cache.SetQuota(arb.Quota(pr.tenant))
+		}
 		if r.audit != nil {
 			pr.cache.SetAudit(r.audit)
 			r.audit.RegisterProbe(fmt.Sprintf("memcache.used.prog%d", id), pr.cache.CheckUsed)
@@ -128,6 +149,10 @@ func (r *Runner) Add(prog workloads.Program, mode Mode, opts AddOptions) *Progra
 		})
 	}
 	r.progs = append(r.progs, pr)
+	if r.started {
+		pr.start()
+		r.emc.arm() // the slot chain may have drained with everything done
+	}
 	return pr
 }
 
@@ -135,6 +160,7 @@ func (r *Runner) Add(prog workloads.Program, mode Mode, opts AddOptions) *Progra
 // simulation until all programs finish or until maxTime of virtual time
 // elapses. It reports whether everything finished.
 func (r *Runner) Run(maxTime time.Duration) bool {
+	r.started = true
 	for _, pr := range r.progs {
 		pr.start()
 	}
@@ -185,8 +211,11 @@ type ProgramRun struct {
 
 	crmOrigin  int
 	dataDriven bool
-	disabled   bool // data-driven permanently disabled by mis-prefetch
-	crashed    bool // aborted by an injected client crash
+	disabled   bool          // data-driven permanently disabled by mis-prefetch
+	crashed    bool          // aborted by an injected client crash
+	tenant     int           // owning tenant on a tenanted cluster
+	grant      *tenant.Grant // live data-driven grant from the arbiter
+	onDone     func()
 
 	// epochs tracks sealed checkpoint epochs per rank (lazily created at
 	// the first OpSeal; nil for programs without checkpoint epochs).
@@ -236,6 +265,9 @@ func (pr *ProgramRun) Cache() *memcache.Cache { return pr.cache }
 // DataDriven reports whether the program currently runs data-driven.
 func (pr *ProgramRun) DataDriven() bool { return pr.dataDriven }
 
+// Tenant returns the program's owning tenant (0 on untenanted clusters).
+func (pr *ProgramRun) Tenant() int { return pr.tenant }
+
 // Elapsed is the program's measured execution time.
 func (pr *ProgramRun) Elapsed() time.Duration {
 	if !pr.Done {
@@ -281,12 +313,75 @@ func (pr *ProgramRun) obs() *obs.Collector { return pr.r.cl.Obs() }
 // ctrlTrack is the program's control-plane trace track.
 func (pr *ProgramRun) ctrlTrack() string { return fmt.Sprintf("prog%d/ctrl", pr.id) }
 
-// setDataDriven flips the mode and logs the transition.
+// acquireGrant asks the cluster's arbiter for a data-driven grant (always
+// granted on an untenanted cluster — no arbiter, no accounting). The
+// grant is revocable: when another tenant reclaims its reserved share the
+// arbiter calls back into revokeGrant and this program reverts to
+// conventional mode mid-run.
+func (pr *ProgramRun) acquireGrant() bool {
+	arb := pr.r.cl.Arbiter()
+	if arb == nil || pr.grant != nil {
+		return true
+	}
+	pr.grant = arb.TryAcquire(pr.tenant, pr.revokeGrant)
+	return pr.grant != nil
+}
+
+// releaseGrant returns the program's grant, if it holds one.
+func (pr *ProgramRun) releaseGrant() {
+	if pr.grant == nil {
+		return
+	}
+	g := pr.grant
+	pr.grant = nil
+	g.Release()
+}
+
+// revokeGrant is the arbiter's reclaim callback: an under-reservation
+// tenant needed the slot, so this program falls back to conventional mode
+// for the rest of its run (any rank mid-wait on a cache fill re-issues the
+// read against the PFS). The EMC's slot retry may re-admit it later if
+// capacity frees up.
+func (pr *ProgramRun) revokeGrant() {
+	if pr.dataDriven {
+		pr.setDataDriven(false) // releases the grant
+	} else {
+		pr.releaseGrant()
+	}
+}
+
+// tryEnterDataDriven switches data-driven on, gated on a grant. False
+// means the arbiter denied admission and the mode is unchanged.
+func (pr *ProgramRun) tryEnterDataDriven() bool {
+	if pr.dataDriven {
+		return true
+	}
+	if !pr.acquireGrant() {
+		return false
+	}
+	pr.setDataDriven(true)
+	return true
+}
+
+// finish runs the common end-of-program path: the grant (if any) goes back
+// to the arbiter and the completion callback fires.
+func (pr *ProgramRun) finish() {
+	pr.releaseGrant()
+	if pr.onDone != nil {
+		pr.onDone()
+	}
+}
+
+// setDataDriven flips the mode and logs the transition. Turning the mode
+// off returns the program's grant.
 func (pr *ProgramRun) setDataDriven(on bool) {
 	if pr.dataDriven == on {
 		return
 	}
 	pr.dataDriven = on
+	if !on {
+		pr.releaseGrant()
+	}
 	pr.ModeSwitches = append(pr.ModeSwitches, ModeSwitch{At: pr.r.cl.K.Now(), On: on})
 	state := "off"
 	if on {
@@ -391,6 +486,7 @@ func (pr *ProgramRun) rankDone(p *sim.Proc, rank int) {
 		}
 		pr.Done = true
 		pr.EndedAt = p.Now()
+		pr.finish()
 	}
 }
 
@@ -472,6 +568,7 @@ func (pr *ProgramRun) clientCrash(at time.Duration) {
 			tier.CrashNode(n, at)
 		}
 	}
+	pr.finish()
 }
 
 // Crashed reports whether an injected client crash aborted the program.

@@ -61,3 +61,55 @@ func TestBaselineUnchangedWithoutBurst(t *testing.T) {
 		}
 	}
 }
+
+// TestMultitenantDeterminismGolden is the same four-variant byte-identity
+// guard for the multi-tenant sweep: the quick table must render exactly as
+// the checked-in golden, serially, at -parallel 4, and with the audit
+// oracles armed in both shapes. The cells inside the sweep spawn their own
+// arrival and worker procs and the arbiter revokes grants mid-run, so this
+// is the test that pins "revocation order is simulation state, not host
+// scheduling".
+func TestMultitenantDeterminismGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the multitenant sweep four times; skipped with -short")
+	}
+	path := filepath.Join("testdata", "multitenant_quick.golden")
+	got := renderResult(Multitenant(Opts{Quick: true, Parallel: 1, Log: io.Discard}))
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./internal/harness -run MultitenantDeterminism -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("serial output drifted from %s:\n--- want ---\n%s\n--- got ---\n%s",
+			path, want, got)
+	}
+	for _, v := range []struct {
+		name string
+		run  func() string
+	}{
+		{"parallel4", func() string {
+			return renderResult(Multitenant(Opts{Quick: true, Parallel: 4, Log: io.Discard}))
+		}},
+		{"audit", func() string {
+			SetAudit(true)
+			defer SetAudit(false)
+			return renderResult(Multitenant(Opts{Quick: true, Parallel: 1, Log: io.Discard}))
+		}},
+		{"audit-parallel4", func() string {
+			SetAudit(true)
+			defer SetAudit(false)
+			return renderResult(Multitenant(Opts{Quick: true, Parallel: 4, Log: io.Discard}))
+		}},
+	} {
+		if out := v.run(); out != string(want) {
+			t.Errorf("%s output drifted from the golden:\n--- want ---\n%s\n--- got ---\n%s",
+				v.name, want, out)
+		}
+	}
+}

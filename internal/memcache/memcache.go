@@ -80,7 +80,8 @@ type Cache struct {
 	nodes    []int
 	chunks   map[chunkKey]*chunk
 	used     int64
-	sweeping bool // an idle-eviction sweep is scheduled
+	quota    *Quota // nil = untenanted (no partition accounting)
+	sweeping bool   // an idle-eviction sweep is scheduled
 
 	statGets, statHits int64
 	statEvictions      int64
@@ -361,7 +362,7 @@ func (c *Cache) put(p *sim.Proc, fromNode int, rc obs.Ctx, file string, extents 
 			}
 			before := ext.Total(ch.valid)
 			ch.valid = ext.Insert(ch.valid, rel)
-			c.used += ext.Total(ch.valid) - before
+			c.adjustUsed(ext.Total(ch.valid) - before)
 			if dirty {
 				ch.dirty = ext.Insert(ch.dirty, rel)
 			}
@@ -379,6 +380,7 @@ func (c *Cache) put(p *sim.Proc, fromNode int, rc obs.Ctx, file string, extents 
 			obs.Str("op", op), obs.I64("bytes", ext.Total(extents)))
 	}
 	c.enforceCapacity()
+	c.quota.enforce()
 	c.armSweeper()
 }
 
@@ -438,7 +440,7 @@ func (c *Cache) DirtyBytes() int64 {
 func (c *Cache) DropFile(file string) {
 	for key, ch := range c.chunks {
 		if key.file == file {
-			c.used -= ext.Total(ch.valid)
+			c.adjustUsed(-ext.Total(ch.valid))
 			delete(c.chunks, key)
 		}
 	}
@@ -449,7 +451,7 @@ func (c *Cache) evictIdle() {
 	cutoff := c.k.Now() - c.cfg.EvictAfter
 	for key, ch := range c.chunks {
 		if len(ch.dirty) == 0 && ch.lastRef < cutoff {
-			c.used -= ext.Total(ch.valid)
+			c.adjustUsed(-ext.Total(ch.valid))
 			delete(c.chunks, key)
 			c.statEvictions++
 		}
@@ -476,7 +478,7 @@ func (c *Cache) enforceCapacity() {
 		if victim == nil {
 			return // everything dirty; CRM writeback will drain
 		}
-		c.used -= ext.Total(victim.valid)
+		c.adjustUsed(-ext.Total(victim.valid))
 		delete(c.chunks, victim.key)
 		c.statEvictions++
 	}

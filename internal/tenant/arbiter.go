@@ -1,0 +1,371 @@
+package tenant
+
+import (
+	"fmt"
+	"time"
+
+	"dualpar/internal/check"
+	"dualpar/internal/memcache"
+	"dualpar/internal/obs"
+)
+
+// Arbiter is the cluster-wide admission controller for data-driven
+// execution. The per-app EMC still decides *when* a program would benefit
+// from data-driven mode (paper §IV-B: I/O ratio and access-cost
+// improvement over sampled slots); the arbiter decides whether the cluster
+// can *afford* another grant right now. A grant is held from the moment a
+// program switches data-driven until it switches back, ends, or is revoked;
+// denials are not queued — the EMC's slot sampling naturally retries on the
+// next slot boundary, so the arbiter stays a pure, instantly-answering
+// state machine and the simulation schedule is independent of arbiter
+// internals.
+//
+// Policies (Config.Policy) shape per-tenant *reservations* over the global
+// MaxGrants bound. The arbiter is work-conserving: a tenant may borrow
+// beyond its reservation while the pool has room, but when the pool is
+// full an under-reservation tenant reclaims a borrowed grant from the most
+// over-reservation holder (its program reverts to conventional mode
+// mid-run and finishes without the grant). FCFS reserves nothing, so it
+// never revokes. CacheBytes additionally partitions global-cache capacity
+// into per-tenant memcache quotas so one tenant's grants cannot evict
+// another tenant's cached data.
+type Arbiter struct {
+	cfg  Config
+	now  func() time.Duration
+	obs  *obs.Collector
+	led  check.Ledger
+	held *check.Gauge // total grants held; bound = MaxGrants
+
+	perTenant []int
+	caps      []int      // per-tenant reservation; 0 = none (fcfs)
+	holds     [][]*Grant // live grants per tenant, oldest first
+	quotas    []*memcache.Quota
+
+	statGrants   []int64
+	statDenies   []int64
+	statReleases []int64
+	statRevokes  []int64
+}
+
+// Grant is one held admission. Release returns it to the pool; the arbiter
+// may instead reclaim it first through the revoke callback registered at
+// acquisition, in which case the holder must release it before the
+// callback returns.
+type Grant struct {
+	a        *Arbiter
+	tenant   int
+	revoke   func()
+	released bool
+}
+
+// Tenant reports which tenant holds the grant.
+func (g *Grant) Tenant() int { return g.tenant }
+
+// Release returns the grant. Releasing twice is an audit violation.
+func (g *Grant) Release() { g.a.release(g) }
+
+// NewArbiter builds the arbiter for cfg; now supplies virtual time for
+// tenant.* instants (pass the kernel's Now). Panics on invalid config.
+func NewArbiter(cfg Config, now func() time.Duration) *Arbiter {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	a := &Arbiter{
+		cfg:          cfg,
+		now:          now,
+		held:         check.NewGauge(nil, "tenant.grants.held", int64(cfg.MaxGrants)),
+		perTenant:    make([]int, cfg.Tenants),
+		caps:         grantCaps(cfg),
+		holds:        make([][]*Grant, cfg.Tenants),
+		statGrants:   make([]int64, cfg.Tenants),
+		statDenies:   make([]int64, cfg.Tenants),
+		statReleases: make([]int64, cfg.Tenants),
+		statRevokes:  make([]int64, cfg.Tenants),
+	}
+	if cfg.CacheBytes > 0 {
+		a.quotas = make([]*memcache.Quota, cfg.Tenants)
+		for t, share := range apportion(cfg.CacheBytes, policyWeights(cfg)) {
+			a.quotas[t] = memcache.NewQuota(fmt.Sprintf("tenant%d", t), share)
+		}
+	}
+	return a
+}
+
+// policyWeights returns each tenant's share weight under cfg.Policy:
+// priority is a strict ladder (tenant 0 weighs Tenants, the last weighs 1);
+// fair and fcfs weigh everyone equally.
+func policyWeights(cfg Config) []int64 {
+	w := make([]int64, cfg.Tenants)
+	for t := range w {
+		if cfg.Policy == PolicyPrio {
+			w[t] = int64(cfg.Tenants - t)
+		} else {
+			w[t] = 1
+		}
+	}
+	return w
+}
+
+// grantCaps derives per-tenant reservations from the policy. FCFS has none
+// (first come, first served against the global bound); fair and prio
+// apportion MaxGrants by weight. A reservation is not a ceiling — the
+// arbiter is work-conserving and lends idle capacity freely — it is the
+// share a tenant can always claim back, by revocation if necessary.
+func grantCaps(cfg Config) []int {
+	caps := make([]int, cfg.Tenants)
+	if cfg.MaxGrants == 0 || cfg.Policy == PolicyFCFS {
+		return caps // all uncapped
+	}
+	shares := apportion(int64(cfg.MaxGrants), policyWeights(cfg))
+	for t, s := range shares {
+		c := int(s)
+		if c < 1 {
+			c = 1 // even the lowest priority tenant can make progress
+		}
+		caps[t] = c
+	}
+	return caps
+}
+
+// apportion divides total across weights by the largest-remainder method:
+// exact proportional shares floored, leftover units handed out by largest
+// fractional remainder (ties to the lower index). The shares always sum to
+// total exactly.
+func apportion(total int64, weights []int64) []int64 {
+	var wsum int64
+	for _, w := range weights {
+		wsum += w
+	}
+	shares := make([]int64, len(weights))
+	type frac struct {
+		idx int
+		rem int64 // numerator of the fractional part, denominator wsum
+	}
+	fracs := make([]frac, len(weights))
+	var given int64
+	for i, w := range weights {
+		shares[i] = total * w / wsum
+		given += shares[i]
+		fracs[i] = frac{idx: i, rem: total * w % wsum}
+	}
+	// Stable selection sort over the handful of tenants: largest remainder
+	// first, lower index wins ties.
+	for given < total {
+		best := -1
+		for i := range fracs {
+			if fracs[i].rem < 0 {
+				continue // already topped up
+			}
+			if best < 0 || fracs[i].rem > fracs[best].rem {
+				best = i
+			}
+		}
+		shares[fracs[best].idx]++
+		fracs[best].rem = -1
+		given++
+	}
+	return shares
+}
+
+// SetObs attaches the observability collector: grants, denials, and
+// releases then emit tenant.* instants on the "tenant" track and maintain
+// tenant.* registry metrics.
+func (a *Arbiter) SetObs(o *obs.Collector) { a.obs = o }
+
+// RegisterAudit attaches the audit ledger and registers the arbiter's
+// invariant probes: the grant gauge (bound MaxGrants, never negative), the
+// per-tenant ledger consistency check, and one probe per tenant quota. The
+// caller separately registers a final leaked-grant probe once it knows the
+// run is supposed to end with all jobs complete.
+func (a *Arbiter) RegisterAudit(aud *check.Auditor) {
+	a.led = aud
+	a.held.SetLedger(aud)
+	aud.RegisterProbe("tenant.arbiter", a.Check)
+	for _, q := range a.quotas {
+		q := q
+		aud.RegisterProbe("tenant.quota."+q.Key(), q.Check)
+	}
+}
+
+// TryAcquire asks for a data-driven grant for tenant t. It answers
+// immediately: a non-nil Grant reserves one slot (return it with
+// Grant.Release); nil means the pool is exhausted and t could not reclaim
+// capacity — the caller stays in conventional mode and may simply ask
+// again later. revoke, if non-nil, is invoked (synchronously, from inside
+// another tenant's TryAcquire) should the arbiter later reclaim this
+// grant; the callback must release the grant before returning. A grant
+// acquired with a nil revoke is irrevocable.
+func (a *Arbiter) TryAcquire(t int, revoke func()) *Grant {
+	if a.cfg.MaxGrants > 0 && a.held.Value() >= int64(a.cfg.MaxGrants) {
+		if !a.revokeFor(t) {
+			why := "global"
+			if a.caps[t] > 0 && a.perTenant[t] >= a.caps[t] {
+				why = "cap"
+			}
+			a.deny(t, why)
+			return nil
+		}
+	}
+	g := &Grant{a: a, tenant: t, revoke: revoke}
+	a.holds[t] = append(a.holds[t], g)
+	a.perTenant[t]++
+	a.held.Add(1)
+	a.statGrants[t]++
+	if a.obs.Enabled() {
+		a.obs.Instant("tenant.grant", "tenant", a.now(),
+			obs.I64("tenant", int64(t)), obs.I64("held", a.held.Value()))
+		m := a.obs.Metrics()
+		m.Counter("tenant.grants").Add(1)
+		m.Gauge("tenant.held").Set(float64(a.held.Value()))
+	}
+	return g
+}
+
+// revokeFor frees one grant slot for under-reservation tenant t by
+// revoking the newest revocable grant of the most over-reservation tenant.
+// It reports whether a slot was freed. The victim must hold strictly more
+// than its reservation, so a tenant within its share is never preempted
+// and two under-reservation tenants cannot ping-pong each other's grants.
+func (a *Arbiter) revokeFor(t int) bool {
+	if a.caps[t] == 0 || a.perTenant[t] >= a.caps[t] {
+		return false // t has no reservation, or has already used it up
+	}
+	victim, over := -1, 0
+	for u := range a.perTenant {
+		if o := a.perTenant[u] - a.caps[u]; o > over && a.revocable(u) != nil {
+			victim, over = u, o
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	g := a.revocable(victim)
+	a.statRevokes[victim]++
+	if a.obs.Enabled() {
+		a.obs.Instant("tenant.revoke", "tenant", a.now(),
+			obs.I64("victim", int64(victim)), obs.I64("claimant", int64(t)))
+		a.obs.Metrics().Counter("tenant.revokes").Add(1)
+	}
+	g.revoke()
+	if a.led != nil {
+		a.led.Checkf(g.released, "tenant.revoke",
+			"tenant %d's revoke callback returned without releasing the grant", victim)
+	}
+	return g.released
+}
+
+// revocable returns tenant u's newest grant that carries a revoke
+// callback, or nil.
+func (a *Arbiter) revocable(u int) *Grant {
+	hs := a.holds[u]
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i].revoke != nil {
+			return hs[i]
+		}
+	}
+	return nil
+}
+
+func (a *Arbiter) deny(t int, why string) {
+	a.statDenies[t]++
+	if a.obs.Enabled() {
+		a.obs.Instant("tenant.deny", "tenant", a.now(),
+			obs.I64("tenant", int64(t)), obs.Str("why", why))
+		a.obs.Metrics().Counter("tenant.denies").Add(1)
+	}
+}
+
+// release returns grant g (program left data-driven mode, ended, or is
+// being revoked). Releasing twice is an audit violation.
+func (a *Arbiter) release(g *Grant) {
+	t := g.tenant
+	if g.released {
+		if a.led != nil {
+			a.led.Checkf(false, "tenant.release",
+				"tenant %d released the same grant twice", t)
+		}
+		return
+	}
+	g.released = true
+	hs := a.holds[t]
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i] == g {
+			a.holds[t] = append(hs[:i], hs[i+1:]...)
+			break
+		}
+	}
+	a.perTenant[t]--
+	a.held.Add(-1)
+	a.statReleases[t]++
+	if a.led != nil {
+		a.led.Checkf(a.perTenant[t] >= 0, "tenant.release",
+			"tenant %d released more grants than it held (%d)", t, a.perTenant[t])
+	}
+	if a.obs.Enabled() {
+		a.obs.Instant("tenant.release", "tenant", a.now(),
+			obs.I64("tenant", int64(t)), obs.I64("held", a.held.Value()))
+		m := a.obs.Metrics()
+		m.Counter("tenant.releases").Add(1)
+		m.Gauge("tenant.held").Set(float64(a.held.Value()))
+	}
+}
+
+// Quota returns tenant t's cache partition, or nil when CacheBytes is 0
+// (no partitioning) — the nil is safe to hand straight to
+// memcache.Cache.SetQuota.
+func (a *Arbiter) Quota(t int) *memcache.Quota {
+	if a.quotas == nil {
+		return nil
+	}
+	return a.quotas[t]
+}
+
+// Tenants, Held, HeldBy, Cap and the stat accessors expose arbiter state
+// for reporting; all are pure reads. Cap is the tenant's reservation, not
+// a ceiling — work conservation lets holds exceed it while the pool has
+// room.
+func (a *Arbiter) Tenants() int         { return a.cfg.Tenants }
+func (a *Arbiter) Held() int64          { return a.held.Value() }
+func (a *Arbiter) HeldBy(t int) int     { return a.perTenant[t] }
+func (a *Arbiter) Cap(t int) int        { return a.caps[t] }
+func (a *Arbiter) Grants(t int) int64   { return a.statGrants[t] }
+func (a *Arbiter) Denies(t int) int64   { return a.statDenies[t] }
+func (a *Arbiter) Releases(t int) int64 { return a.statReleases[t] }
+func (a *Arbiter) Revokes(t int) int64  { return a.statRevokes[t] }
+
+// Check is the arbiter's audit probe: the grant ledger must be internally
+// consistent (total = sum of per-tenant holds = live handles, nothing
+// negative, global bound respected). The gauge checks the bound on every
+// mutation already; Check re-verifies from the per-tenant side so a
+// miscounted tenant cannot hide inside a correct total. Reservations are
+// deliberately not re-checked here — work conservation makes over-
+// reservation holding legal.
+func (a *Arbiter) Check() error {
+	var sum int
+	for t, h := range a.perTenant {
+		if h < 0 {
+			return fmt.Errorf("tenant %d holds %d grants", t, h)
+		}
+		if len(a.holds[t]) != h {
+			return fmt.Errorf("tenant %d ledger says %d grants but %d handles live", t, h, len(a.holds[t]))
+		}
+		sum += h
+	}
+	if int64(sum) != a.held.Value() {
+		return fmt.Errorf("grant ledger %d != %d across tenants", a.held.Value(), sum)
+	}
+	if a.cfg.MaxGrants > 0 && sum > a.cfg.MaxGrants {
+		return fmt.Errorf("%d grants held over bound %d", sum, a.cfg.MaxGrants)
+	}
+	return nil
+}
+
+// CheckDrained is the end-of-run leak probe: once every job has ended,
+// no grants may remain held. Register it as a final probe on runs that are
+// supposed to finish all their work.
+func (a *Arbiter) CheckDrained() error {
+	if a.held.Value() != 0 {
+		return fmt.Errorf("%d grants leaked at exit (per tenant: %v)", a.held.Value(), a.perTenant)
+	}
+	return nil
+}

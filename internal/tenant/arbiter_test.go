@@ -1,0 +1,274 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dualpar/internal/check"
+	"dualpar/internal/obs"
+)
+
+func now0() time.Duration { return 0 }
+
+func arbCfg(tenants int, policy Policy, grants int) Config {
+	cfg := DefaultConfig()
+	cfg.Tenants = tenants
+	cfg.Policy = policy
+	cfg.MaxGrants = grants
+	return cfg
+}
+
+// acquire grabs a grant without a revoke callback (irrevocable), the
+// simplest shape for bound tests.
+func acquire(a *Arbiter, t int) *Grant { return a.TryAcquire(t, nil) }
+
+func TestFCFSGlobalBound(t *testing.T) {
+	a := NewArbiter(arbCfg(2, PolicyFCFS, 2), now0)
+	g0, g1 := acquire(a, 0), acquire(a, 0)
+	if g0 == nil || g1 == nil {
+		t.Fatal("grants under the bound denied")
+	}
+	if acquire(a, 1) != nil {
+		t.Fatal("grant over the global bound allowed")
+	}
+	g0.Release()
+	if acquire(a, 1) == nil {
+		t.Fatal("grant after release denied")
+	}
+	if a.Held() != 2 || a.HeldBy(0) != 1 || a.HeldBy(1) != 1 {
+		t.Fatalf("held=%d by0=%d by1=%d", a.Held(), a.HeldBy(0), a.HeldBy(1))
+	}
+	if a.Grants(0) != 2 || a.Denies(1) != 1 || a.Releases(0) != 1 {
+		t.Fatalf("stats grants0=%d denies1=%d releases0=%d",
+			a.Grants(0), a.Denies(1), a.Releases(0))
+	}
+}
+
+func TestUnboundedGrants(t *testing.T) {
+	a := NewArbiter(arbCfg(1, PolicyFCFS, 0), now0)
+	for i := 0; i < 100; i++ {
+		if acquire(a, 0) == nil {
+			t.Fatal("unbounded arbiter denied a grant")
+		}
+	}
+}
+
+// TestFairSharesAreWorkConserving pins the reservation semantics: a tenant
+// may borrow past its share while the pool has room, and an
+// under-reservation tenant reclaims a borrowed grant by revocation when
+// the pool is full.
+func TestFairSharesAreWorkConserving(t *testing.T) {
+	a := NewArbiter(arbCfg(2, PolicyFair, 4), now0)
+	if a.Cap(0) != 2 || a.Cap(1) != 2 {
+		t.Fatalf("fair reservations %d/%d, want 2/2", a.Cap(0), a.Cap(1))
+	}
+	// Tenant 0 borrows the whole pool: revoke callbacks release their
+	// grant, as core's do.
+	revoked := -1
+	for i := 0; i < 4; i++ {
+		i := i
+		var g *Grant
+		g = a.TryAcquire(0, func() { revoked = i; g.Release() })
+		if g == nil {
+			t.Fatalf("work-conserving arbiter denied grant %d with the pool free", i)
+		}
+	}
+	// Pool full, tenant 0 over its reservation: its next ask is denied...
+	if a.TryAcquire(0, nil) != nil {
+		t.Fatal("over-reservation tenant granted from a full pool")
+	}
+	// ...but under-reservation tenant 1 reclaims a borrowed slot.
+	if a.TryAcquire(1, nil) == nil {
+		t.Fatal("under-reservation tenant denied while tenant 0 held borrowed grants")
+	}
+	if revoked != 3 {
+		t.Fatalf("revoked grant %d, want the newest (3)", revoked)
+	}
+	if a.Revokes(0) != 1 || a.HeldBy(0) != 3 || a.HeldBy(1) != 1 {
+		t.Fatalf("revokes0=%d by0=%d by1=%d", a.Revokes(0), a.HeldBy(0), a.HeldBy(1))
+	}
+	// Tenant 1 is now at... still under its reservation of 2; a second ask
+	// revokes another of tenant 0's borrowed grants.
+	if a.TryAcquire(1, nil) == nil {
+		t.Fatal("second reclaim denied")
+	}
+	// At its reservation, tenant 1 cannot preempt further: tenant 0 holds
+	// exactly its share now.
+	if a.TryAcquire(1, nil) != nil {
+		t.Fatal("tenant 1 preempted tenant 0's reserved share")
+	}
+	if a.Denies(1) != 1 {
+		t.Fatalf("denies1=%d, want 1", a.Denies(1))
+	}
+}
+
+func TestPrioCapsAreWeighted(t *testing.T) {
+	a := NewArbiter(arbCfg(3, PolicyPrio, 6), now0)
+	// Weights 3,2,1 over 6 grants = reservations 3,2,1.
+	for tn, want := range []int{3, 2, 1} {
+		if a.Cap(tn) != want {
+			t.Errorf("prio cap[%d] = %d, want %d", tn, a.Cap(tn), want)
+		}
+	}
+}
+
+func TestApportionSumsExactly(t *testing.T) {
+	for _, tc := range []struct {
+		total   int64
+		weights []int64
+		want    []int64
+	}{
+		{6, []int64{3, 2, 1}, []int64{3, 2, 1}},
+		{7, []int64{1, 1, 1}, []int64{3, 2, 2}},  // remainder to lower index
+		{2, []int64{5, 1, 1}, []int64{2, 0, 0}},  // floor can strand the tail
+		{10, []int64{1, 1, 1}, []int64{4, 3, 3}}, // 10/3 with one leftover
+	} {
+		got := apportion(tc.total, tc.weights)
+		var sum int64
+		for i, s := range got {
+			sum += s
+			if s != tc.want[i] {
+				t.Errorf("apportion(%d,%v) = %v, want %v", tc.total, tc.weights, got, tc.want)
+				break
+			}
+		}
+		if sum != tc.total {
+			t.Errorf("apportion(%d,%v) sums to %d", tc.total, tc.weights, sum)
+		}
+	}
+}
+
+func TestQuotaPartitioning(t *testing.T) {
+	cfg := arbCfg(3, PolicyFair, 0)
+	cfg.CacheBytes = 3 << 20
+	a := NewArbiter(cfg, now0)
+	for tn := 0; tn < 3; tn++ {
+		q := a.Quota(tn)
+		if q == nil || q.Limit() != 1<<20 {
+			t.Fatalf("tenant %d quota %v, want 1MiB each", tn, q)
+		}
+	}
+	// Priority weights the partitions like the grant reservations.
+	cfg.Policy = PolicyPrio
+	a = NewArbiter(cfg, now0)
+	total := int64(0)
+	for tn := 0; tn < 3; tn++ {
+		total += a.Quota(tn).Limit()
+		if tn > 0 && a.Quota(tn).Limit() >= a.Quota(tn-1).Limit() {
+			t.Fatalf("prio partitions not decreasing: %d then %d",
+				a.Quota(tn-1).Limit(), a.Quota(tn).Limit())
+		}
+	}
+	if total != cfg.CacheBytes {
+		t.Fatalf("partitions sum to %d, want %d", total, cfg.CacheBytes)
+	}
+	// No partitioning configured -> nil quotas.
+	if NewArbiter(arbCfg(2, PolicyFair, 0), now0).Quota(1) != nil {
+		t.Fatal("quota without CacheBytes")
+	}
+}
+
+func TestArbiterAuditOverRelease(t *testing.T) {
+	aud := check.New(1, "arbiter test")
+	aud.SetArtifactDir(t.TempDir())
+	a := NewArbiter(arbCfg(1, PolicyFCFS, 2), now0)
+	a.RegisterAudit(aud)
+	g := acquire(a, 0)
+	g.Release()
+	if err := aud.Err(); err != nil {
+		t.Fatalf("balanced acquire/release violated: %v", err)
+	}
+	g.Release()
+	err := aud.Err()
+	if err == nil {
+		t.Fatal("double release raised no violation")
+	}
+	if !strings.Contains(err.Error(), "tenant") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+// TestArbiterAuditRevokeMustRelease pins the revoke contract: a callback
+// that returns without releasing its grant is an audit violation, and the
+// claimant is denied rather than over-admitted.
+func TestArbiterAuditRevokeMustRelease(t *testing.T) {
+	aud := check.New(1, "arbiter test")
+	aud.SetArtifactDir(t.TempDir())
+	a := NewArbiter(arbCfg(2, PolicyFair, 2), now0)
+	a.RegisterAudit(aud)
+	a.TryAcquire(0, func() {}) // broken holder: never releases
+	a.TryAcquire(0, func() {})
+	if a.TryAcquire(1, nil) != nil {
+		t.Fatal("claimant granted though the revoke freed nothing")
+	}
+	if err := aud.Err(); err == nil || !strings.Contains(err.Error(), "revoke") {
+		t.Fatalf("broken revoke callback not flagged: %v", err)
+	}
+}
+
+func TestArbiterLeakProbe(t *testing.T) {
+	aud := check.New(1, "arbiter test")
+	aud.SetArtifactDir(t.TempDir())
+	a := NewArbiter(arbCfg(2, PolicyFCFS, 4), now0)
+	a.RegisterAudit(aud)
+	aud.RegisterFinalProbe("tenant.grants.leak", a.CheckDrained)
+	acquire(a, 1)
+	aud.RunProbes() // steady-state probes are clean with a grant held
+	if err := aud.Err(); err != nil {
+		t.Fatalf("steady-state probes: %v", err)
+	}
+	aud.RunFinalProbes()
+	err := aud.Err()
+	if err == nil {
+		t.Fatal("leaked grant not caught at exit")
+	}
+	if !strings.Contains(err.Error(), "leaked") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+func TestArbiterCheckCatchesDrift(t *testing.T) {
+	a := NewArbiter(arbCfg(2, PolicyFCFS, 4), now0)
+	acquire(a, 0)
+	if err := a.Check(); err != nil {
+		t.Fatalf("consistent state: %v", err)
+	}
+	a.perTenant[1] += 2 // simulate a bookkeeping bug
+	if err := a.Check(); err == nil {
+		t.Fatal("ledger drift not caught")
+	}
+}
+
+// TestArbiterObs pins the tenant.* observability surface: instants on the
+// "tenant" track and registry counters for grant/deny/release/revoke.
+func TestArbiterObs(t *testing.T) {
+	o := obs.NewCollector()
+	a := NewArbiter(arbCfg(2, PolicyFair, 2), now0)
+	a.SetObs(o)
+	var g0 *Grant
+	g0 = a.TryAcquire(0, func() { g0.Release() })
+	a.TryAcquire(0, nil)
+	a.TryAcquire(0, nil) // denied: pool full, tenant 0 over reservation
+	a.TryAcquire(1, nil) // revokes g0, then grants
+	m := o.Metrics()
+	if m.Counter("tenant.grants").Value() != 3 ||
+		m.Counter("tenant.denies").Value() != 1 ||
+		m.Counter("tenant.releases").Value() != 1 ||
+		m.Counter("tenant.revokes").Value() != 1 {
+		t.Fatalf("counters grants=%d denies=%d releases=%d revokes=%d, want 3/1/1/1",
+			m.Counter("tenant.grants").Value(),
+			m.Counter("tenant.denies").Value(),
+			m.Counter("tenant.releases").Value(),
+			m.Counter("tenant.revokes").Value())
+	}
+	names := map[string]bool{}
+	for _, in := range o.Instants() {
+		names[in.Name] = true
+	}
+	for _, want := range []string{"tenant.grant", "tenant.deny", "tenant.release", "tenant.revoke"} {
+		if !names[want] {
+			t.Errorf("missing instant %s (have %v)", want, names)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	cfg, err := ParseSpec("")
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if cfg != DefaultConfig() {
+		t.Fatalf("empty spec = %+v, want DefaultConfig", cfg)
+	}
+}
+
+func TestParseSpecFull(t *testing.T) {
+	cfg, err := ParseSpec("tenants:4,arrival=burst:100@500ms,policy=fair,grants=64,cache=64M,jobs=150,ranks=2,hot=0x3,seed=7")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	want := Config{
+		Tenants:    4,
+		Arrival:    Arrival{Kind: ArrivalBurst, Size: 100, Every: 500 * time.Millisecond},
+		Policy:     PolicyFair,
+		MaxGrants:  64,
+		CacheBytes: 64 << 20,
+		Jobs:       150,
+		Ranks:      2,
+		HotTenant:  0,
+		HotFactor:  3,
+		Seed:       7,
+	}
+	if cfg != want {
+		t.Fatalf("cfg = %+v\nwant  %+v", cfg, want)
+	}
+}
+
+func TestParseSpecArrivalKinds(t *testing.T) {
+	for spec, want := range map[string]Arrival{
+		"arrival=poisson:25.5":    {Kind: ArrivalPoisson, Rate: 25.5},
+		"arrival=burst:10@1s":     {Kind: ArrivalBurst, Size: 10, Every: time.Second},
+		"arrival=closed:8x5":      {Kind: ArrivalClosed, Workers: 8, JobsPerWorker: 5},
+		"arrival=closed:8x5:10ms": {Kind: ArrivalClosed, Workers: 8, JobsPerWorker: 5, Think: 10 * time.Millisecond},
+	} {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", spec, err)
+			continue
+		}
+		if cfg.Arrival != want {
+			t.Errorf("ParseSpec(%q).Arrival = %+v, want %+v", spec, cfg.Arrival, want)
+		}
+	}
+}
+
+// TestParseSpecErrors pins that every malformed entry is rejected with an
+// error naming the offending entry, per the fault.Parse convention.
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"tenants:0",
+		"tenants:x",
+		"bogus",
+		"arrival=warp:9",
+		"arrival=poisson:0",
+		"arrival=poisson:-3",
+		"arrival=poisson:NaN",
+		"arrival=poisson:+Inf",
+		"arrival=burst:0@1s",
+		"arrival=burst:5@0s",
+		"arrival=burst:5",
+		"arrival=closed:0x5",
+		"arrival=closed:8x0",
+		"arrival=closed:8x5:-1s",
+		"arrival=closed:85",
+		"policy=round-robin",
+		"grants=-1",
+		"cache=-5",
+		"cache=64Q",
+		"cache=9999999999G",
+		"jobs=0",
+		"ranks=0",
+		"hot=0",
+		"hot=-1x2",
+		"hot=0x0",
+		"hot=9x2", // out of range for default 1 tenant
+		"seed=abc",
+		"unknown=1",
+	} {
+		_, err := ParseSpec(spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed spec", spec)
+			continue
+		}
+		// The error must name the offending entry (or the whole spec for
+		// cross-entry validation failures like the out-of-range hot tenant).
+		if !strings.Contains(err.Error(), `"`) {
+			t.Errorf("ParseSpec(%q) error does not quote the entry: %v", spec, err)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"tenants:4,arrival=poisson:25,policy=fair,grants=64,cache=67108864,jobs=150,ranks=2,hot=0x3,seed=7",
+		"tenants:1,arrival=poisson:50,policy=fcfs,jobs=100,ranks=1,seed=1",
+		"tenants:2,arrival=closed:8x5:10ms,policy=prio,grants=4,ranks=1,seed=3",
+	} {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		if got := cfg.String(); got != spec {
+			t.Errorf("round trip %q -> %q", spec, got)
+		}
+	}
+}

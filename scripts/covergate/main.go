@@ -1,0 +1,234 @@
+// Command covergate guards the repo's test-coverage baseline. It parses a
+// `go test -coverprofile` profile, aggregates statement coverage per
+// package and in total, and fails when a named package drops below its
+// floor or the total drops more than the allowed slack below the recorded
+// baseline.
+//
+// Record the baseline (after a coverage-relevant change; -short, matching
+// the CI coverage job — the golden sweeps the long tests re-run add wall
+// clock but no meaningfully different coverage):
+//
+//	go test -short -coverprofile=cover.out ./...
+//	go run ./scripts/covergate -write COVERAGE_baseline.json cover.out
+//
+// Gate a run against it (CI's blocking coverage job):
+//
+//	go run ./scripts/covergate -baseline COVERAGE_baseline.json \
+//	    -floor dualpar/internal/tenant=85 cover.out
+//
+// -floor PKG=PCT is repeatable; each names an import-path prefix and a hard
+// minimum statement-coverage percentage (blocking; a floor naming a package
+// absent from the profile is an error, so a typo cannot silently pass).
+// -slack PTS (default 2) is how far the total may drop below the baseline
+// before the gate fails; with an empty -baseline the total check is
+// skipped, so floors alone can gate a partial run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the persisted file format.
+type Baseline struct {
+	Note     string             `json:"note,omitempty"`
+	TotalPct float64            `json:"total_pct"`
+	Packages map[string]float64 `json:"packages"`
+}
+
+// floors collects repeated -floor PKG=PCT flags.
+type floors map[string]float64
+
+func (f floors) String() string { return fmt.Sprintf("%v", map[string]float64(f)) }
+
+func (f floors) Set(v string) error {
+	pkg, pct, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want PKG=PCT, got %q", v)
+	}
+	p, err := strconv.ParseFloat(pct, 64)
+	if err != nil || p < 0 || p > 100 {
+		return fmt.Errorf("bad floor percentage %q", pct)
+	}
+	f[pkg] = p
+	return nil
+}
+
+// pkgCov accumulates statement counts for one package.
+type pkgCov struct{ covered, total int64 }
+
+func (c pkgCov) pct() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+func main() {
+	write := flag.String("write", "", "record the baseline to this JSON file instead of comparing")
+	baseline := flag.String("baseline", "", "baseline JSON to compare the total against (empty = floors only)")
+	slack := flag.Float64("slack", 2, "allowed total-coverage drop vs the baseline, in percentage points")
+	fl := floors{}
+	flag.Var(fl, "floor", "hard per-package floor as PKG=PCT (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: covergate [-write FILE | -baseline FILE] [-floor PKG=PCT]... cover.out")
+		os.Exit(2)
+	}
+	pkgs, err := parseProfile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var tot pkgCov
+	for _, c := range pkgs {
+		tot.covered += c.covered
+		tot.total += c.total
+	}
+	names := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+
+	if *write != "" {
+		b := Baseline{
+			Note:     "statement coverage (-short, matching CI); regenerate: go test -short -coverprofile=cover.out ./... && go run ./scripts/covergate -write " + *write + " cover.out",
+			TotalPct: tot.pct(),
+			Packages: map[string]float64{},
+		}
+		for _, p := range names {
+			b.Packages[p] = pkgs[p].pct()
+		}
+		f, err := os.Create(*write)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(b); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d packages, total %.1f%% -> %s\n", len(pkgs), tot.pct(), *write)
+		return
+	}
+
+	failed := false
+	for pkg, floor := range fl {
+		var c pkgCov
+		found := false
+		for p, pc := range pkgs {
+			if p == pkg || strings.HasPrefix(p, pkg+"/") {
+				c.covered += pc.covered
+				c.total += pc.total
+				found = true
+			}
+		}
+		if !found {
+			fmt.Printf("FAIL  %s: not present in profile\n", pkg)
+			failed = true
+			continue
+		}
+		status := "ok  "
+		if c.pct() < floor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %s: %.1f%% (floor %.1f%%)\n", status, pkg, c.pct(), floor)
+	}
+	fmt.Printf("total: %.1f%%\n", tot.pct())
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var b Baseline
+		if err := json.Unmarshal(data, &b); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if tot.pct() < b.TotalPct-*slack {
+			fmt.Printf("FAIL  total %.1f%% dropped more than %.1f pts below baseline %.1f%%\n",
+				tot.pct(), *slack, b.TotalPct)
+			failed = true
+		} else {
+			fmt.Printf("ok    total within %.1f pts of baseline %.1f%%\n", *slack, b.TotalPct)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseProfile aggregates a cover profile into per-package statement
+// counts. Profile lines are "file.go:sl.sc,el.ec numStmts hitCount"; a
+// statement block counts as covered when any recorded line hit it (merged
+// profiles repeat blocks).
+func parseProfile(path_ string) (map[string]pkgCov, error) {
+	f, err := os.Open(path_)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	type block struct {
+		pkg   string
+		stmts int64
+	}
+	blocks := map[string]*block{} // keyed by file:range
+	hit := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		pos, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("%s: bad profile line %q", path_, line)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s: bad profile line %q", path_, line)
+		}
+		stmts, err1 := strconv.ParseInt(fields[0], 10, 64)
+		count, err2 := strconv.ParseInt(fields[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s: bad profile line %q", path_, line)
+		}
+		file, _, _ := strings.Cut(pos, ":")
+		if b := blocks[pos]; b == nil {
+			blocks[pos] = &block{pkg: path.Dir(file), stmts: stmts}
+		}
+		if count > 0 {
+			hit[pos] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	pkgs := map[string]pkgCov{}
+	for pos, b := range blocks {
+		c := pkgs[b.pkg]
+		c.total += b.stmts
+		if hit[pos] {
+			c.covered += b.stmts
+		}
+		pkgs[b.pkg] = c
+	}
+	return pkgs, nil
+}
