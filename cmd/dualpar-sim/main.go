@@ -69,6 +69,7 @@ func main() {
 	write := flag.Bool("write", false, "write instead of read (where applicable)")
 	servers := flag.Int("servers", 9, "data servers")
 	sched := flag.String("sched", "cfq", "disk scheduler: cfq|deadline|noop|anticipatory")
+	engine := flag.String("engine", "", "data-server storage engine: extent|bptree|lsm (default extent)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	emclog := flag.Bool("emclog", false, "print EMC's per-slot decisions")
 	slot := flag.Duration("slot", 0, "EMC sampling slot (default 1s)")
@@ -83,7 +84,7 @@ func main() {
 	flag.Parse()
 
 	if *tenants != "" {
-		if err := runTenants(*tenants, *seed, *slot, *audit); err != nil {
+		if err := runTenants(*tenants, *seed, *slot, *audit, *engine); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -105,6 +106,11 @@ func main() {
 	ccfg.DataServers = *servers
 	ccfg.Seed = *seed
 	ccfg.PFS.Replicas = *replicas
+	ccfg.FS.Engine = *engine
+	if err := ccfg.FS.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	switch *sched {
 	case "cfq":
 	case "deadline":
@@ -284,7 +290,7 @@ func main() {
 // their arrival times from a single driver proc; the closed-loop kind
 // spawns one proc per tenant worker), then per-tenant outcomes print as a
 // small table. Deterministic per spec+seed.
-func runTenants(spec string, seed int64, slot time.Duration, audit bool) error {
+func runTenants(spec string, seed int64, slot time.Duration, audit bool, engine string) error {
 	tc, err := tenant.ParseSpec(spec)
 	if err != nil {
 		return err
@@ -293,6 +299,10 @@ func runTenants(spec string, seed int64, slot time.Duration, audit bool) error {
 	ccfg := cluster.DefaultConfig()
 	ccfg.Seed = seed
 	ccfg.Tenancy = &tc
+	ccfg.FS.Engine = engine
+	if err := ccfg.FS.Validate(); err != nil {
+		return err
+	}
 	cl := cluster.New(ccfg)
 	dcfg := core.DefaultConfig()
 	dcfg.SlotEvery = 250 * time.Millisecond

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig1a|fig1b|fig1cd|fig3|fig4|fig5|table2|fig6|fig7|fig8|table3|straggler|...]
+//	experiments [-run all|fig1a|fig1b|fig1cd|fig3|fig4|fig5|table2|fig6|fig7|fig8|table3|straggler|engines|...]
 //	            [-quick] [-seed N] [-out DIR] [-q] [-parallel N] [-report]
-//	            [-cpuprofile FILE] [-memprofile FILE]
+//	            [-engine extent|bptree|lsm] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Sweeps run across GOMAXPROCS workers by default; -parallel 1 falls back to
 // the serial path. Output tables are byte-identical either way (the sweep
@@ -25,6 +25,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"dualpar/internal/fs"
 	"dualpar/internal/harness"
 	"dualpar/internal/metrics"
 )
@@ -58,13 +59,14 @@ var experiments = map[string]func(harness.Opts) *harness.Result{
 	"availability": harness.Availability,
 	"checkpoint":   harness.Checkpoint,
 	"multitenant":  harness.Multitenant,
+	"engines":      harness.Engines,
 }
 
 var order = []string{
 	"fig1a", "fig1b", "fig1cd", "fig3", "fig4", "fig5", "table2", "fig6", "fig7", "fig8", "table3",
 	"ablate-sched", "ablate-t", "ablate-hole", "ablate-chunk", "ablate-origins", "ablate-cb", "ablate-ssd",
 	"ablate-writepath", "ablate-s2window", "ablate-servers", "ablate-pipeline",
-	"straggler", "availability", "checkpoint", "multitenant",
+	"straggler", "availability", "checkpoint", "multitenant", "engines",
 }
 
 func main() {
@@ -76,6 +78,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent sweep cells (0 = GOMAXPROCS, 1 = serial)")
 	audit := flag.Bool("audit", false, "arm the invariant oracles on every run (fail loudly with a reproducer artifact)")
 	report := flag.Bool("report", false, "attach tracing to every run and print time-attribution reports after the tables")
+	engine := flag.String("engine", "", "data-server storage engine: extent|bptree|lsm (default extent; the engines experiment sweeps all three regardless)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -109,8 +112,20 @@ func main() {
 		}()
 	}
 
+	validEngine := *engine == ""
+	for _, e := range fs.Engines() {
+		if *engine == e {
+			validEngine = true
+		}
+	}
+	if !validEngine {
+		fmt.Fprintf(os.Stderr, "unknown engine %q; known: %s\n", *engine, strings.Join(fs.Engines(), " "))
+		os.Exit(2)
+	}
+
 	harness.SetAudit(*audit)
 	harness.SetReport(*report)
+	harness.SetEngine(*engine)
 
 	var log io.Writer = os.Stderr
 	if *quiet {

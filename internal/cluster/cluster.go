@@ -215,6 +215,12 @@ func (c *Cluster) EnableAudit(a *check.Auditor) {
 			}
 			return nil
 		})
+		// The storage engine's layout oracle: extent maps must match their
+		// source of truth (B+tree vs flat shadow) and log byte ledgers must
+		// conserve across compaction (LSM).
+		a.RegisterFinalProbe(fmt.Sprintf("engine.server%d", i), func() error {
+			return st.Engine().CheckInvariants()
+		})
 	}
 	if c.tier != nil {
 		c.tier.RegisterAudit(a)
@@ -284,6 +290,8 @@ func (c *Cluster) ServerStats() disk.Stats {
 		agg.BytesWritten += s.BytesWritten
 		agg.BusyTime += s.BusyTime
 		agg.SequentialRun += s.SequentialRun
+		agg.SeekTime += s.SeekTime
+		agg.TransferTime += s.TransferTime
 	}
 	return agg
 }

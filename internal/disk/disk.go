@@ -133,6 +133,13 @@ type Stats struct {
 	BytesWritten  int64
 	BusyTime      time.Duration
 	SequentialRun int64 // accesses served without repositioning
+
+	// Positioning vs. payload attribution: SeekTime accumulates the
+	// Seek+Rotation breakdown components, TransferTime the media-transfer
+	// component (command overhead is in BusyTime only). The engines
+	// experiment reports these per storage engine.
+	SeekTime     time.Duration
+	TransferTime time.Duration
 }
 
 // AvgSeekDistance returns the mean seek distance in sectors over all
@@ -155,6 +162,8 @@ func (s Stats) Sub(t Stats) Stats {
 		BytesWritten:  s.BytesWritten - t.BytesWritten,
 		BusyTime:      s.BusyTime - t.BusyTime,
 		SequentialRun: s.SequentialRun - t.SequentialRun,
+		SeekTime:      s.SeekTime - t.SeekTime,
+		TransferTime:  s.TransferTime - t.TransferTime,
 	}
 }
 
@@ -243,6 +252,8 @@ func (d *Disk) Access(p *sim.Proc, lbn, sectors int64, write bool) time.Duration
 		d.stats.BytesRead += bytes
 	}
 	d.stats.BusyTime += t
+	d.stats.SeekTime += d.lastBD.Seek + d.lastBD.Rotation
+	d.stats.TransferTime += d.lastBD.Transfer
 	d.head = lbn + sectors
 	if d.trace != nil {
 		d.trace.add(Entry{At: p.Now(), LBN: lbn, Sectors: sectors, Write: write})

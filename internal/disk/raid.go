@@ -62,6 +62,8 @@ func (r *RAID0) Stats() Stats {
 		agg.SeekSectors += s.SeekSectors
 		agg.BytesRead += s.BytesRead
 		agg.BytesWritten += s.BytesWritten
+		agg.SeekTime += s.SeekTime
+		agg.TransferTime += s.TransferTime
 	}
 	return agg
 }
@@ -156,6 +158,8 @@ func (d *Disk) serve(lbn, sectors int64, write bool) time.Duration {
 		d.stats.BytesRead += bytes
 	}
 	d.stats.BusyTime += t
+	d.stats.SeekTime += d.lastBD.Seek + d.lastBD.Rotation
+	d.stats.TransferTime += d.lastBD.Transfer
 	d.head = lbn + sectors
 	return t
 }

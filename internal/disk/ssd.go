@@ -114,6 +114,7 @@ func (d *SSD) Access(p *sim.Proc, lbn, sectors int64, write bool) time.Duration 
 		d.stats.BytesRead += bytes
 	}
 	d.stats.BusyTime += t
+	d.stats.TransferTime += d.lastBD.Transfer
 	d.head = lbn + sectors
 	if d.trace != nil {
 		d.trace.add(Entry{At: p.Now(), LBN: lbn, Sectors: sectors, Write: write})

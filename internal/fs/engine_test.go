@@ -1,0 +1,405 @@
+package fs
+
+import (
+	"testing"
+	"time"
+
+	"dualpar/internal/sim"
+)
+
+// forEachEngine runs the conformance test body once per storage engine.
+func forEachEngine(t *testing.T, body func(t *testing.T, cfg Config)) {
+	for _, eng := range Engines() {
+		t.Run(eng, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Engine = eng
+			body(t, cfg)
+		})
+	}
+}
+
+func TestEngineConformanceReadWrite(t *testing.T) {
+	// Every engine must serve reads and sync writes through the device and
+	// leave its layout bookkeeping consistent.
+	forEachEngine(t, func(t *testing.T, cfg Config) {
+		k := sim.NewKernel(1)
+		s := newStore(k, cfg)
+		s.Create("a", 4<<20)
+		k.Spawn("worker", func(p *sim.Proc) {
+			s.Read(p, "a", 0, 1<<20, 1)
+			s.Write(p, "a", 512<<10, 1<<20, 1)
+			s.Read(p, "a", 512<<10, 1<<20, 1)
+		})
+		k.RunUntil(time.Minute)
+		st := s.Device().Stats()
+		if st.BytesRead == 0 || st.BytesWritten == 0 {
+			t.Fatalf("device traffic read=%d written=%d, want both nonzero", st.BytesRead, st.BytesWritten)
+		}
+		if got := s.FileSize("a"); got < 4<<20 {
+			t.Fatalf("allocated size %d, want >= 4MB", got)
+		}
+		if got := s.LogicalSize("a"); got != 4<<20 {
+			t.Fatalf("logical size %d, want exactly 4MB", got)
+		}
+		if err := s.Engine().CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+	})
+}
+
+func TestEngineConformanceDirtyThrottle(t *testing.T) {
+	// The dirty-limit throttle lives above the engine: writers must block
+	// when dirty bytes exceed the limit and finish once the flusher drains,
+	// whichever engine decides where writeback lands.
+	forEachEngine(t, func(t *testing.T, cfg Config) {
+		cfg.SyncWrites = false
+		cfg.CacheBytes = 4 << 20
+		cfg.DirtyLimitBytes = 1 << 20
+		k := sim.NewKernel(1)
+		s := newStore(k, cfg)
+		var wrote int64
+		k.Spawn("writer", func(p *sim.Proc) {
+			for i := int64(0); i < 64; i++ {
+				s.Write(p, "a", i*256<<10, 256<<10, 1)
+				wrote += 256 << 10
+			}
+		})
+		k.RunUntil(20 * time.Millisecond)
+		if wrote >= 64*256<<10 {
+			t.Fatalf("writer never throttled: wrote %d quickly", wrote)
+		}
+		k.RunUntil(2 * time.Minute)
+		if wrote != 64*256<<10 {
+			t.Fatalf("writer did not finish after flushing: wrote %d", wrote)
+		}
+		if err := s.Engine().CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+	})
+}
+
+func TestEngineConformanceEvictionBounded(t *testing.T) {
+	// The eviction sweeper must keep residency at or under capacity while a
+	// scan twice the cache size streams through, for every layout.
+	forEachEngine(t, func(t *testing.T, cfg Config) {
+		cfg.CacheBytes = 1 << 20
+		cfg.DirtyLimitBytes = 512 << 10
+		k := sim.NewKernel(1)
+		s := newStore(k, cfg)
+		s.Create("a", 8<<20)
+		k.Spawn("reader", func(p *sim.Proc) {
+			s.Read(p, "a", 0, 8<<20, 1)
+		})
+		k.RunUntil(time.Minute)
+		if got := int64(len(s.cache.pages)) * int64(cfg.PageSize); got > cfg.CacheBytes {
+			t.Fatalf("resident = %d bytes, cache bound %d", got, cfg.CacheBytes)
+		}
+		if err := s.Engine().CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+	})
+}
+
+func TestEngineConformanceInvariantsUnderChurn(t *testing.T) {
+	// Mixed read/overwrite churn with async writeback: invariants must hold
+	// at quiesce for every engine (for LSM this exercises the byte ledger
+	// across log appends, supersedes, and compaction).
+	forEachEngine(t, func(t *testing.T, cfg Config) {
+		cfg.SyncWrites = false
+		cfg.LSMSegmentBytes = 256 << 10 // small segments so compaction fires
+		k := sim.NewKernel(1)
+		s := newStore(k, cfg)
+		s.Create("a", 2<<20)
+		s.Create("b", 2<<20)
+		k.Spawn("churn", func(p *sim.Proc) {
+			for round := 0; round < 6; round++ {
+				for _, f := range []string{"a", "b"} {
+					s.Write(p, f, int64(round%3)*512<<10, 512<<10, 1)
+					s.Read(p, f, int64(round%4)*256<<10, 256<<10, 1)
+				}
+				s.Sync(p)
+			}
+		})
+		k.RunUntil(5 * time.Minute)
+		if err := s.Engine().CheckInvariants(); err != nil {
+			t.Fatalf("invariants after churn: %v", err)
+		}
+	})
+}
+
+func TestBPTreeFragmentsLayout(t *testing.T) {
+	// The B+tree engine deliberately fragments: a file that the extent
+	// engine lays out in one run must shatter into many gapped extents,
+	// and the tree must grow past a single node (splits exercised).
+	cfg := DefaultConfig()
+	cfg.Engine = EngineBPTree
+	k := sim.NewKernel(1)
+	s := newStore(k, cfg)
+	s.Create("a", 64<<20)
+	e := s.Engine().(*bptreeEngine)
+	f := e.files["a"]
+	if len(f.shadow) <= bptOrder {
+		t.Fatalf("extents = %d, want enough to split a %d-key node", len(f.shadow), bptOrder)
+	}
+	if f.tree.height < 2 {
+		t.Fatalf("tree height = %d, want >= 2 after %d extents", f.tree.height, len(f.shadow))
+	}
+	for i := 1; i < len(f.shadow); i++ {
+		prev, cur := f.shadow[i-1], f.shadow[i]
+		if cur.lbn == prev.lbn+prev.bytes/sectorSize {
+			t.Fatalf("extents %d and %d contiguous on disk; aged-FS layout must gap them", i-1, i)
+		}
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestBPTreeLookupMatchesFlatScan(t *testing.T) {
+	// Point lookups through the tree must agree with a linear scan of the
+	// shadow map at every extent boundary and interior offset.
+	cfg := DefaultConfig()
+	cfg.Engine = EngineBPTree
+	k := sim.NewKernel(1)
+	s := newStore(k, cfg)
+	s.Create("a", 32<<20)
+	e := s.Engine().(*bptreeEngine)
+	f := e.files["a"]
+	for _, x := range f.shadow {
+		for _, off := range []int64{x.fileOff, x.fileOff + x.bytes/2, x.fileOff + x.bytes - 1} {
+			runs := e.ReadRuns(nil, "a", off, 1)
+			if len(runs) != 1 {
+				t.Fatalf("off %d: %d runs, want 1", off, len(runs))
+			}
+			want := x.lbn + (off-x.fileOff)/sectorSize
+			if runs[0].lbn != want {
+				t.Fatalf("off %d: lbn %d, flat scan says %d", off, runs[0].lbn, want)
+			}
+		}
+	}
+}
+
+func TestLSMWritebackSequential(t *testing.T) {
+	// Scattered logical writes must land as one sequential append run at
+	// the head of the log.
+	cfg := DefaultConfig()
+	cfg.Engine = EngineLSM
+	k := sim.NewKernel(1)
+	s := newStore(k, cfg)
+	s.Create("a", 8<<20)
+	e := s.Engine().(*lsmEngine)
+	var runs []lbnRun
+	// Backward-scattered writes: worst case for update-in-place, one
+	// contiguous run for the log.
+	for _, off := range []int64{6 << 20, 2 << 20, 4 << 20, 0} {
+		runs = e.WriteRuns(runs, "a", off, 64<<10)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("scattered writes produced %d log runs, want 1 sequential", len(runs))
+	}
+	if runs[0].bytes != 4*64<<10 {
+		t.Fatalf("log run %d bytes, want %d", runs[0].bytes, 4*64<<10)
+	}
+	// Reads chase the pages into the log.
+	rd := e.ReadRuns(nil, "a", 0, 64<<10)
+	if len(rd) != 1 || rd[0].lbn < runs[0].lbn || rd[0].lbn >= runs[0].lbn+runs[0].bytes/sectorSize {
+		t.Fatalf("read of overwritten range resolves to %+v, want inside log run %+v", rd, runs[0])
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestLSMCompactionConservesBytes(t *testing.T) {
+	// Overwriting the same range repeatedly fills segments with garbage;
+	// the compactor must reclaim them, the byte ledger must balance, and
+	// its disk traffic must be visible on the device.
+	cfg := DefaultConfig()
+	cfg.Engine = EngineLSM
+	cfg.LSMSegmentBytes = 128 << 10
+	cfg.LSMCompactBps = 64 << 20
+	k := sim.NewKernel(1)
+	s := newStore(k, cfg)
+	s.Create("a", 1<<20)
+	k.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			s.Write(p, "a", 0, 256<<10, 1) // overwrite the same 64 pages
+			p.Sleep(50 * time.Millisecond)
+		}
+	})
+	k.RunUntil(10 * time.Minute)
+	e := s.Engine().(*lsmEngine)
+	absorbed, compacted, reclaimed, live := e.Stats()
+	if absorbed != 20*256<<10 {
+		t.Fatalf("absorbed %d bytes, want %d", absorbed, 20*256<<10)
+	}
+	if reclaimed == 0 {
+		t.Fatalf("compactor never reclaimed a segment (absorbed %d, segments of %d)", absorbed, cfg.LSMSegmentBytes)
+	}
+	if live != 256<<10 {
+		t.Fatalf("live %d bytes, want %d (one copy of the working set)", live, 256<<10)
+	}
+	_ = compacted
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("byte ledger: %v", err)
+	}
+}
+
+func TestLSMCompactionThrottled(t *testing.T) {
+	// The same garbage load compacted at a lower bandwidth cap must spread
+	// its device traffic over more time (throttle actually binds).
+	run := func(bps float64) time.Duration {
+		cfg := DefaultConfig()
+		cfg.Engine = EngineLSM
+		cfg.LSMSegmentBytes = 128 << 10
+		cfg.LSMCompactBps = bps
+		k := sim.NewKernel(1)
+		s := newStore(k, cfg)
+		s.Create("a", 2<<20)
+		k.Spawn("writer", func(p *sim.Proc) {
+			// Fill a segment, then supersede half of it: the victim keeps
+			// live pages, so compaction must actually move (throttled) data.
+			for i := int64(0); i < 10; i++ {
+				s.Write(p, "a", i*128<<10, 128<<10, 1)
+				s.Write(p, "a", i*128<<10, 64<<10, 1)
+			}
+		})
+		e := s.Engine().(*lsmEngine)
+		last := time.Duration(0)
+		k.Spawn("probe", func(p *sim.Proc) {
+			for {
+				if _, _, reclaimed, _ := e.Stats(); reclaimed > 0 {
+					before := reclaimed
+					p.Sleep(500 * time.Millisecond)
+					if _, _, after, _ := e.Stats(); after == before {
+						last = p.Now()
+						return
+					}
+					continue
+				}
+				p.Sleep(10 * time.Millisecond)
+			}
+		})
+		k.RunUntil(10 * time.Minute)
+		return last
+	}
+	fast, slow := run(256<<20), run(1<<20)
+	if fast == 0 || slow == 0 {
+		t.Fatalf("compaction never quiesced: fast=%v slow=%v", fast, slow)
+	}
+	if slow <= fast {
+		t.Fatalf("throttled compaction finished at %v, unthrottled at %v; throttle has no effect", slow, fast)
+	}
+}
+
+// --- satellite regressions ---
+
+func TestMakeRoomManyDirtiersTinyCache(t *testing.T) {
+	// Regression for the all-dirty-cache path in pageCache.makeRoom: with a
+	// cache only a few pages big and many concurrent dirtiers (plus readers
+	// forcing clean insertions), every blocked writer must eventually be
+	// woken by the flusher — no lost wakeups, no livelock — and residency
+	// must never exceed capacity.
+	cfg := DefaultConfig()
+	cfg.SyncWrites = false
+	cfg.CacheBytes = 4 << 12 // 4 pages
+	cfg.DirtyLimitBytes = 2 << 12
+	cfg.WritebackBatchBytes = 1 << 12
+	cfg.WritebackEvery = 10 * time.Millisecond
+	k := sim.NewKernel(1)
+	s := newStore(k, cfg)
+	s.Create("a", 1<<20)
+	capPages := cfg.CacheBytes / int64(cfg.PageSize)
+	done := 0
+	const writers, pagesEach = 8, 32
+	for w := 0; w < writers; w++ {
+		off := int64(w) * pagesEach << 12
+		k.Spawn("dirtier", func(p *sim.Proc) {
+			for i := int64(0); i < pagesEach; i++ {
+				s.Write(p, "a", off+i<<12, 1<<12, 1)
+			}
+			done++
+		})
+	}
+	k.Spawn("reader", func(p *sim.Proc) {
+		for i := int64(0); i < pagesEach; i++ {
+			s.Read(p, "a", (200+i)<<12, 1<<12, 2)
+		}
+	})
+	k.Spawn("monitor", func(p *sim.Proc) {
+		for {
+			if got := int64(len(s.cache.pages)); got > capPages {
+				t.Errorf("resident %d pages at %v, cap %d", got, p.Now(), capPages)
+				return
+			}
+			p.Sleep(time.Millisecond)
+		}
+	})
+	k.RunUntil(5 * time.Minute)
+	if done != writers {
+		t.Fatalf("%d/%d dirtiers finished; writers lost a wakeup in makeRoom", done, writers)
+	}
+	k.RunUntil(6 * time.Minute)
+	if s.DirtyBytes() != 0 {
+		t.Fatalf("dirty bytes = %d after quiesce", s.DirtyBytes())
+	}
+}
+
+func TestReadAheadStopsAtLogicalEOF(t *testing.T) {
+	// Regression: readahead used to run to the *allocated* size (the
+	// alloc-unit-rounded high-water mark), making pages past EOF resident.
+	// With a 10KB file (3 pages of data) and generous readahead, no page
+	// beyond index 2 may become resident.
+	cfg := DefaultConfig()
+	cfg.ReadAheadBytes = 256 << 10
+	k := sim.NewKernel(1)
+	s := newStore(k, cfg)
+	s.Create("a", 10<<10) // logical 10KB; allocated rounds to 8MB
+	if s.FileSize("a") <= 10<<10 {
+		t.Fatalf("precondition: allocation did not round up (size %d)", s.FileSize("a"))
+	}
+	k.Spawn("reader", func(p *sim.Proc) {
+		s.Read(p, "a", 0, 4<<10, 1)
+	})
+	k.RunUntil(time.Minute)
+	for pg := int64(3); pg < 64; pg++ {
+		if s.cache.resident("a", pg) {
+			t.Fatalf("phantom page %d resident beyond logical EOF", pg)
+		}
+	}
+	// Pages 1 and 2 hold live bytes and are fair readahead targets.
+	if !s.cache.resident("a", 0) {
+		t.Fatalf("demanded page not resident")
+	}
+}
+
+func TestReadAheadStopsAtExtentBoundary(t *testing.T) {
+	// Regression: readahead must not cross into a discontiguous extent
+	// (readahead does not seek). File a's second extent starts at 1MB and
+	// is separated on disk by file b; readahead from just below the
+	// boundary must not pull extent-2 pages in.
+	cfg := DefaultConfig()
+	cfg.AllocUnitBytes = 1 << 20
+	cfg.ReadAheadBytes = 256 << 10
+	k := sim.NewKernel(1)
+	s := newStore(k, cfg)
+	s.Create("a", 1<<20)
+	s.Create("b", 1<<20) // forces a's next extent to be discontiguous
+	s.Create("a", 2<<20)
+	if n := len(s.eng.(*extentEngine).files["a"].extents); n != 2 {
+		t.Fatalf("precondition: file a has %d extents, want 2", n)
+	}
+	k.Spawn("reader", func(p *sim.Proc) {
+		s.Read(p, "a", 1<<20-8<<10, 4<<10, 1)
+	})
+	k.RunUntil(time.Minute)
+	boundaryPg := int64(1<<20) / int64(cfg.PageSize)
+	for pg := boundaryPg; pg < boundaryPg+64; pg++ {
+		if s.cache.resident("a", pg) {
+			t.Fatalf("readahead crossed the extent boundary: page %d resident", pg)
+		}
+	}
+	if !s.cache.resident("a", boundaryPg-2) {
+		t.Fatalf("demanded page not resident")
+	}
+}

@@ -1,7 +1,9 @@
-// Package fs models a data server's local storage stack: an extent
-// allocator laying file data out on the disk's LBN space, a page cache with
-// dirty-page writeback (the paper forces a 1-second flush), and an
-// I/O-scheduler dispatcher in front of the device.
+// Package fs models a data server's local storage stack: a pluggable
+// StorageEngine laying file data out on the disk's LBN space (contiguous
+// extents by default; B+tree-indexed fragmented layout and a log-structured
+// engine are selectable), a page cache with dirty-page writeback (the paper
+// forces a 1-second flush), and an I/O-scheduler dispatcher in front of the
+// device.
 //
 // Only metadata is stored — file contents are never materialized. Workload
 // data dependence is modeled at the workload layer as deterministic
@@ -48,11 +50,24 @@ type Config struct {
 	FileGapBytes   int64
 
 	// ReadAheadBytes, when positive, extends a missed read run forward by
-	// up to this much within the same extent (kernel readahead analogue).
+	// up to this much (kernel readahead analogue). Readahead never crosses
+	// the on-disk contiguous region holding the miss (readahead does not
+	// seek) and never extends past the file's logical size.
 	ReadAheadBytes int64
 
 	// MemBandwidth models page-cache copy cost, bytes/second.
 	MemBandwidth float64
+
+	// Engine selects the storage engine laying file bytes out on disk:
+	// one of Engines() ("" = EngineExtent, the paper's default).
+	Engine string
+
+	// LSM engine knobs (ignored by the other engines). Zero selects the
+	// engine's defaults: 4 MiB segments, compaction at 50% garbage,
+	// 32 MiB/s compaction bandwidth.
+	LSMSegmentBytes int64   // log segment size, page-aligned
+	LSMCompactFrac  float64 // garbage fraction triggering compaction, (0,1]
+	LSMCompactBps   float64 // compaction disk-bandwidth throttle, bytes/s
 }
 
 // DefaultConfig returns a configuration approximating the paper's data
@@ -79,8 +94,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fs: PageSize %d", c.PageSize)
 	case c.CacheBytes < int64(c.PageSize):
 		return fmt.Errorf("fs: CacheBytes %d", c.CacheBytes)
+	case c.CacheBytes%int64(c.PageSize) != 0:
+		// Rejected rather than rounded: capPages = CacheBytes/PageSize would
+		// silently truncate, and a config that lies about its cache size is
+		// a config bug.
+		return fmt.Errorf("fs: CacheBytes %d not a multiple of PageSize %d", c.CacheBytes, c.PageSize)
 	case c.DirtyLimitBytes <= 0 || c.DirtyLimitBytes > c.CacheBytes:
 		return fmt.Errorf("fs: DirtyLimitBytes %d", c.DirtyLimitBytes)
+	case c.DirtyLimitBytes%int64(c.PageSize) != 0:
+		return fmt.Errorf("fs: DirtyLimitBytes %d not a multiple of PageSize %d", c.DirtyLimitBytes, c.PageSize)
 	case c.WritebackEvery <= 0:
 		return fmt.Errorf("fs: WritebackEvery %v", c.WritebackEvery)
 	case c.WritebackBatchBytes < int64(c.PageSize):
@@ -91,23 +113,20 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fs: FileGapBytes %d", c.FileGapBytes)
 	case c.ReadAheadBytes < 0:
 		return fmt.Errorf("fs: ReadAheadBytes %d", c.ReadAheadBytes)
+	case c.ReadAheadBytes%int64(c.PageSize) != 0:
+		return fmt.Errorf("fs: ReadAheadBytes %d not a multiple of PageSize %d", c.ReadAheadBytes, c.PageSize)
 	case c.MemBandwidth <= 0:
 		return fmt.Errorf("fs: MemBandwidth %g", c.MemBandwidth)
+	case !validEngine(c.Engine):
+		return fmt.Errorf("fs: Engine %q (want one of %v)", c.Engine, Engines())
+	case c.LSMSegmentBytes < 0 || (c.LSMSegmentBytes > 0 && c.LSMSegmentBytes < int64(c.PageSize)):
+		return fmt.Errorf("fs: LSMSegmentBytes %d", c.LSMSegmentBytes)
+	case c.LSMCompactFrac < 0 || c.LSMCompactFrac > 1:
+		return fmt.Errorf("fs: LSMCompactFrac %g", c.LSMCompactFrac)
+	case c.LSMCompactBps < 0:
+		return fmt.Errorf("fs: LSMCompactBps %g", c.LSMCompactBps)
 	}
 	return nil
-}
-
-// extent maps a contiguous file range to contiguous LBNs.
-type extent struct {
-	fileOff int64 // byte offset in the (server-local) file
-	lbn     int64
-	bytes   int64
-}
-
-type fileMeta struct {
-	name    string
-	size    int64 // bytes allocated (high-water of writes/creates)
-	extents []extent
 }
 
 // Store is one data server's local storage.
@@ -116,10 +135,14 @@ type Store struct {
 	cfg    Config
 	dev    disk.Device
 	disp   *iosched.Dispatcher
-	files  map[string]*fileMeta
-	nexts  int64 // next free sector for allocation
+	eng    StorageEngine
 	cache  *pageCache
 	wbOrig int // origin id used by the flusher
+
+	// logical is each file's logical size: the high-water mark of Create
+	// sizes and write ends, before allocation-unit rounding. Readahead
+	// clips against it so pages past EOF never become resident.
+	logical map[string]int64
 
 	statReadBytes  int64
 	statWriteBytes int64
@@ -195,16 +218,20 @@ func New(k *sim.Kernel, name string, dev disk.Device, alg iosched.Algorithm, cfg
 		panic(err)
 	}
 	s := &Store{
-		k:      k,
-		cfg:    cfg,
-		dev:    dev,
-		disp:   iosched.NewDispatcher(k, name+"/dispatch", dev, alg),
-		files:  make(map[string]*fileMeta),
-		wbOrig: wbOrigin,
+		k:       k,
+		cfg:     cfg,
+		dev:     dev,
+		disp:    iosched.NewDispatcher(k, name+"/dispatch", dev, alg),
+		eng:     newEngine(cfg),
+		wbOrig:  wbOrigin,
+		logical: make(map[string]int64),
 	}
 	s.cache = newPageCache(k, cfg)
 	if !cfg.SyncWrites {
 		k.Spawn(name+"/flusher", s.flusherLoop)
+	}
+	if be, ok := s.eng.(backgroundEngine); ok {
+		be.start(k, name+"/engine", s)
 	}
 	return s
 }
@@ -221,6 +248,9 @@ func (s *Store) SetObs(c *obs.Collector) {
 // Device returns the underlying device (for stats and traces).
 func (s *Store) Device() disk.Device { return s.dev }
 
+// Engine returns the store's storage engine (for audits and tests).
+func (s *Store) Engine() StorageEngine { return s.eng }
+
 // Dispatcher returns the store's block-layer dispatcher.
 func (s *Store) Dispatcher() *iosched.Dispatcher { return s.disp }
 
@@ -233,87 +263,47 @@ func (s *Store) BytesWritten() int64 { return s.statWriteBytes }
 func (s *Store) CacheHitPages() int64  { return s.statCacheHits }
 func (s *Store) CacheMissPages() int64 { return s.statCacheMiss }
 
-// Create allocates layout for a file of the given size, laying its extents
-// contiguously. Creating an existing file extends it if size is larger.
+// Create allocates layout for a file of the given size. Creating an
+// existing file extends it if size is larger.
 func (s *Store) Create(name string, size int64) {
-	f := s.file(name)
-	s.ensureAllocated(f, size)
+	s.eng.Ensure(name, size)
+	if size > s.logical[name] {
+		s.logical[name] = size
+	}
 }
 
 // FileSize reports the allocated size of a file (0 if absent).
 func (s *Store) FileSize(name string) int64 {
-	if f, ok := s.files[name]; ok {
-		return f.size
-	}
-	return 0
+	return s.eng.AllocatedSize(name)
 }
 
-func (s *Store) file(name string) *fileMeta {
-	f := s.files[name]
-	if f == nil {
-		f = &fileMeta{name: name}
-		s.files[name] = f
-		// Leave a gap before a new file's region.
-		s.nexts += s.cfg.FileGapBytes / int64(sectorSize)
-	}
-	return f
-}
-
-const sectorSize = 512
-
-// ensureAllocated extends f's extents to cover [0, size).
-func (s *Store) ensureAllocated(f *fileMeta, size int64) {
-	for f.size < size {
-		need := size - f.size
-		unit := s.cfg.AllocUnitBytes
-		if need > unit {
-			unit = (need + s.cfg.AllocUnitBytes - 1) / s.cfg.AllocUnitBytes * s.cfg.AllocUnitBytes
-		}
-		sectors := unit / sectorSize
-		// Merge with the previous extent when the allocation is adjacent
-		// (no other file claimed space in between).
-		if n := len(f.extents); n > 0 {
-			last := &f.extents[n-1]
-			if last.lbn+last.bytes/sectorSize == s.nexts {
-				last.bytes += unit
-				f.size += unit
-				s.nexts += sectors
-				continue
-			}
-		}
-		f.extents = append(f.extents, extent{fileOff: f.size, lbn: s.nexts, bytes: unit})
-		f.size += unit
-		s.nexts += sectors
-	}
-}
-
-// appendRuns maps the byte range [off, off+n) of file f to contiguous LBN
-// runs, appending them to out (callers pass a reusable scratch slice).
-func (f *fileMeta) appendRuns(out []lbnRun, off, n int64) []lbnRun {
-	end := off + n
-	for _, e := range f.extents {
-		eEnd := e.fileOff + e.bytes
-		if eEnd <= off || e.fileOff >= end {
-			continue
-		}
-		lo, hi := off, end
-		if lo < e.fileOff {
-			lo = e.fileOff
-		}
-		if hi > eEnd {
-			hi = eEnd
-		}
-		out = append(out, lbnRun{
-			lbn:   e.lbn + (lo-e.fileOff)/sectorSize,
-			bytes: hi - lo,
-		})
-	}
-	return out
-}
+// LogicalSize reports the file's logical size: the high-water mark of
+// Create sizes and write ends (0 if absent).
+func (s *Store) LogicalSize(name string) int64 { return s.logical[name] }
 
 type lbnRun struct {
 	lbn   int64
 	bytes int64
+}
+
+// engineSubmit drives a background engine's disk traffic (LSM compaction)
+// through the store's dispatcher at writeback origin, so the elevator,
+// disk stats, and audit ledgers all see it. Blocks p until it completes.
+func (s *Store) engineSubmit(p *sim.Proc, runs []lbnRun, write bool) {
+	sc := s.getScratch()
+	reqs := sc.reqs
+	for _, lr := range runs {
+		reqs = s.appendSplit(reqs, lr, write, s.wbOrig, obs.Ctx{})
+	}
+	for _, r := range reqs {
+		s.disp.Enqueue(r)
+	}
+	for _, r := range reqs {
+		s.disp.Wait(p, r)
+	}
+	s.releaseReqs(reqs)
+	sc.reqs = reqs
+	s.putScratch(sc)
 }
 
 // Read serves a read of [off, off+n) of file name for the given origin,
@@ -331,7 +321,6 @@ func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin
 	if n <= 0 {
 		return
 	}
-	f := s.file(name)
 	s.statReadBytes += n
 
 	ps := int64(s.cfg.PageSize)
@@ -341,7 +330,7 @@ func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin
 		if e.Len <= 0 {
 			continue
 		}
-		s.ensureAllocated(f, e.End()) // reading unwritten space still has layout
+		s.eng.Ensure(name, e.End()) // reading unwritten space still has layout
 		first, last := e.Off/ps, (e.End()-1)/ps
 		for pg := first; pg <= last; pg++ {
 			if s.cache.touch(name, pg) {
@@ -372,12 +361,20 @@ func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin
 		return
 	}
 	reqs := sc.reqs
+	alloc := s.eng.AllocatedSize(name)
 	for _, run := range missRuns {
 		startOff := run[0] * ps
 		endOff := (run[1] + 1) * ps
 		if s.cfg.ReadAheadBytes > 0 {
+			// Readahead clips against the file's logical size (pages past
+			// EOF must never become resident) and against the contiguous
+			// on-disk region holding the miss (readahead does not seek).
+			limit := s.logical[name]
+			if raLim := s.eng.ReadAheadLimit(name, run[1]*ps); raLim < limit {
+				limit = raLim
+			}
 			extra := s.cfg.ReadAheadBytes
-			for pg := run[1] + 1; extra > 0 && pg*ps < f.size; pg++ {
+			for pg := run[1] + 1; extra > 0 && pg*ps < limit; pg++ {
 				if s.cache.resident(name, pg) {
 					break
 				}
@@ -386,10 +383,10 @@ func (s *Store) ReadMulti(p *sim.Proc, name string, extents []ext.Extent, origin
 				extra -= ps
 			}
 		}
-		if endOff > f.size {
-			endOff = f.size
+		if endOff > alloc {
+			endOff = alloc
 		}
-		sc.runs = f.appendRuns(sc.runs[:0], startOff, endOff-startOff)
+		sc.runs = s.eng.ReadRuns(sc.runs[:0], name, startOff, endOff-startOff)
 		for _, lr := range sc.runs {
 			reqs = s.appendSplit(reqs, lr, false, origin, rc)
 		}
@@ -418,7 +415,6 @@ func (s *Store) WriteMulti(p *sim.Proc, name string, extents []ext.Extent, origi
 	if n <= 0 {
 		return
 	}
-	f := s.file(name)
 	s.statWriteBytes += n
 	p.Sleep(time.Duration(float64(n) / s.cfg.MemBandwidth * float64(time.Second)))
 
@@ -429,8 +425,11 @@ func (s *Store) WriteMulti(p *sim.Proc, name string, extents []ext.Extent, origi
 			if e.Len <= 0 {
 				continue
 			}
-			s.ensureAllocated(f, e.End())
-			sc.runs = f.appendRuns(sc.runs[:0], e.Off, e.Len)
+			s.eng.Ensure(name, e.End())
+			if e.End() > s.logical[name] {
+				s.logical[name] = e.End()
+			}
+			sc.runs = s.eng.WriteRuns(sc.runs[:0], name, e.Off, e.Len)
 			for _, lr := range sc.runs {
 				reqs = s.appendSplit(reqs, lr, true, origin, rc)
 			}
@@ -452,7 +451,10 @@ func (s *Store) WriteMulti(p *sim.Proc, name string, extents []ext.Extent, origi
 		if e.Len <= 0 {
 			continue
 		}
-		s.ensureAllocated(f, e.End())
+		s.eng.Ensure(name, e.End())
+		if e.End() > s.logical[name] {
+			s.logical[name] = e.End()
+		}
 		first, last := e.Off/ps, (e.End()-1)/ps
 		for pg := first; pg <= last; pg++ {
 			s.cache.insertDirty(p, name, pg)
@@ -515,8 +517,9 @@ func (s *Store) flushOnce(p *sim.Proc) {
 		for j+1 < len(pages) && pages[j+1].file == pages[i].file && pages[j+1].idx == pages[j].idx+1 {
 			j++
 		}
-		f := s.file(pages[i].file)
-		sc.runs = f.appendRuns(sc.runs[:0], pages[i].idx*ps, int64(j-i+1)*ps)
+		// WriteRuns commits relocation at data-reaching-disk time: a
+		// log-structured engine assigns the pages' log locations here.
+		sc.runs = s.eng.WriteRuns(sc.runs[:0], pages[i].file, pages[i].idx*ps, int64(j-i+1)*ps)
 		for _, lr := range sc.runs {
 			reqs = s.appendSplit(reqs, lr, true, s.wbOrig, obs.Ctx{})
 		}

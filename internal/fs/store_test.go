@@ -21,7 +21,7 @@ func TestCreateAllocatesContiguously(t *testing.T) {
 	k := sim.NewKernel(1)
 	s := newStore(k, DefaultConfig())
 	s.Create("a", 10<<20)
-	f := s.files["a"]
+	f := s.eng.(*extentEngine).files["a"]
 	if len(f.extents) != 1 {
 		t.Fatalf("extents = %d, want 1 contiguous", len(f.extents))
 	}
@@ -36,8 +36,8 @@ func TestTwoFilesSeparatedByGap(t *testing.T) {
 	s := newStore(k, cfg)
 	s.Create("a", 1<<20)
 	s.Create("b", 1<<20)
-	ra := s.files["a"].appendRuns(nil, 0, 1<<20)
-	rb := s.files["b"].appendRuns(nil, 0, 1<<20)
+	ra := s.eng.ReadRuns(nil, "a", 0, 1<<20)
+	rb := s.eng.ReadRuns(nil, "b", 0, 1<<20)
 	gap := (rb[0].lbn - ra[0].lbn) * sectorSize
 	if gap < cfg.FileGapBytes {
 		t.Fatalf("inter-file LBN gap = %d bytes, want >= %d", gap, cfg.FileGapBytes)
@@ -54,7 +54,7 @@ func TestInterleavedGrowthFragments(t *testing.T) {
 		s.Create("a", int64(i+1)<<20)
 		s.Create("b", int64(i+1)<<20)
 	}
-	if n := len(s.files["a"].extents); n < 2 {
+	if n := len(s.eng.(*extentEngine).files["a"].extents); n < 2 {
 		t.Fatalf("file a extents = %d, want fragmentation under interleaved growth", n)
 	}
 }
@@ -67,7 +67,7 @@ func TestRunsSplitAtExtentBoundaries(t *testing.T) {
 	s.Create("a", 1<<20)
 	s.Create("b", 1<<20) // forces a's next extent to be discontiguous
 	s.Create("a", 2<<20)
-	runs := s.files["a"].appendRuns(nil, 512<<10, 1<<20) // spans the extent boundary
+	runs := s.eng.ReadRuns(nil, "a", 512<<10, 1<<20) // spans the extent boundary
 	if len(runs) != 2 {
 		t.Fatalf("runs = %d, want 2 across fragmented extents", len(runs))
 	}
@@ -258,22 +258,44 @@ func TestWriteExtendsFile(t *testing.T) {
 }
 
 func TestValidateRejectsBadConfig(t *testing.T) {
-	bad := []func(*Config){
-		func(c *Config) { c.PageSize = 0 },
-		func(c *Config) { c.CacheBytes = 0 },
-		func(c *Config) { c.DirtyLimitBytes = c.CacheBytes + 1 },
-		func(c *Config) { c.WritebackEvery = 0 },
-		func(c *Config) { c.WritebackBatchBytes = 0 },
-		func(c *Config) { c.AllocUnitBytes = 0 },
-		func(c *Config) { c.FileGapBytes = -1 },
-		func(c *Config) { c.ReadAheadBytes = -1 },
-		func(c *Config) { c.MemBandwidth = 0 },
+	bad := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"PageSize=0", func(c *Config) { c.PageSize = 0 }},
+		{"CacheBytes=0", func(c *Config) { c.CacheBytes = 0 }},
+		{"DirtyLimit>Cache", func(c *Config) { c.DirtyLimitBytes = c.CacheBytes + 1 }},
+		{"WritebackEvery=0", func(c *Config) { c.WritebackEvery = 0 }},
+		{"WritebackBatch=0", func(c *Config) { c.WritebackBatchBytes = 0 }},
+		{"AllocUnit=0", func(c *Config) { c.AllocUnitBytes = 0 }},
+		{"FileGap<0", func(c *Config) { c.FileGapBytes = -1 }},
+		{"ReadAhead<0", func(c *Config) { c.ReadAheadBytes = -1 }},
+		{"MemBandwidth=0", func(c *Config) { c.MemBandwidth = 0 }},
+		// Misaligned byte budgets must be rejected, not silently truncated
+		// (capPages = CacheBytes/PageSize).
+		{"CacheBytes misaligned", func(c *Config) { c.CacheBytes += 1 }},
+		{"CacheBytes off by a page half", func(c *Config) { c.CacheBytes -= int64(c.PageSize) / 2 }},
+		{"DirtyLimit misaligned", func(c *Config) { c.DirtyLimitBytes += 7 }},
+		{"ReadAhead misaligned", func(c *Config) { c.ReadAheadBytes = int64(c.PageSize) + 1 }},
+		{"unknown engine", func(c *Config) { c.Engine = "btrfs" }},
+		{"LSMSegmentBytes<0", func(c *Config) { c.LSMSegmentBytes = -1 }},
+		{"LSMSegmentBytes<PageSize", func(c *Config) { c.LSMSegmentBytes = int64(c.PageSize) - 1 }},
+		{"LSMCompactFrac>1", func(c *Config) { c.LSMCompactFrac = 1.5 }},
+		{"LSMCompactFrac<0", func(c *Config) { c.LSMCompactFrac = -0.1 }},
+		{"LSMCompactBps<0", func(c *Config) { c.LSMCompactBps = -1 }},
 	}
-	for i, mutate := range bad {
+	for _, tc := range bad {
 		c := DefaultConfig()
-		mutate(&c)
+		tc.mutate(&c)
 		if c.Validate() == nil {
-			t.Fatalf("case %d passed Validate", i)
+			t.Fatalf("case %q passed Validate", tc.name)
+		}
+	}
+	for _, eng := range Engines() {
+		c := DefaultConfig()
+		c.Engine = eng
+		if err := c.Validate(); err != nil {
+			t.Fatalf("engine %q rejected: %v", eng, err)
 		}
 	}
 }

@@ -37,7 +37,7 @@ func AblateScheduler(o Opts) *Result {
 	} {
 		row := []string{sched.name}
 		for _, mode := range []core.Mode{core.ModeVanilla, core.ModeDataDriven} {
-			ccfg := cluster.DefaultConfig()
+			ccfg := baseConfig()
 			ccfg.Seed = o.seed()
 			ccfg.NewScheduler = sched.mk
 			cl := cluster.New(ccfg)
@@ -176,7 +176,7 @@ func AblateDiskOrigins(o Opts) *Result {
 		m.FileBytes = 8 << 20
 	}
 	for _, client := range []bool{false, true} {
-		ccfg := cluster.DefaultConfig()
+		ccfg := baseConfig()
 		ccfg.Seed = o.seed()
 		pcfg := pfs.DefaultConfig()
 		pcfg.ClientDiskOrigins = client
@@ -236,7 +236,7 @@ func AblateSSD(o Opts) *Result {
 	for _, storage := range []string{"disk", "ssd"} {
 		vals := make([]float64, 0, 2)
 		for _, mode := range []core.Mode{core.ModeVanilla, core.ModeDataDriven} {
-			ccfg := cluster.DefaultConfig()
+			ccfg := baseConfig()
 			ccfg.Seed = o.seed()
 			if storage == "ssd" {
 				sp := disk.DefaultSSDParams()
@@ -287,7 +287,7 @@ func AblateWritePath(o Opts) *Result {
 			row = []string{"buffered-1s"}
 		}
 		for _, mode := range []core.Mode{core.ModeVanilla, core.ModeDataDriven} {
-			ccfg := cluster.DefaultConfig()
+			ccfg := baseConfig()
 			ccfg.Seed = o.seed()
 			fcfg := ccfg.FS
 			fcfg.SyncWrites = sync
@@ -352,7 +352,7 @@ func AblateServers(o Opts) *Result {
 	for _, servers := range []int{3, 6, 9, 18} {
 		vals := make([]float64, 0, 2)
 		for _, mode := range []core.Mode{core.ModeVanilla, core.ModeDataDriven} {
-			ccfg := cluster.DefaultConfig()
+			ccfg := baseConfig()
 			ccfg.Seed = o.seed()
 			ccfg.DataServers = servers
 			cl := cluster.New(ccfg)

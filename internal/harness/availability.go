@@ -130,7 +130,7 @@ func availReader(quick bool) workloads.Demo {
 // executeAvail runs specs on a cluster with replication, crash-fault
 // watchdogs, and the integrity tracker armed.
 func executeAvail(seed int64, maxTime time.Duration, replicas int, sch *fault.Schedule, specs []runSpec) ([]measured, *cluster.Cluster) {
-	cfg := cluster.DefaultConfig()
+	cfg := baseConfig()
 	cfg.Seed = seed
 	cfg.Faults = sch
 	cfg.PFS.Replicas = replicas

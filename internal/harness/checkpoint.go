@@ -77,7 +77,7 @@ type ckptRun struct {
 // invariant oracles regardless of the suite-wide flag (the crash-matrix
 // tests always want byte conservation checked).
 func runCheckpoint(seed int64, prog workloads.EpochCheckpoint, replicas int, bcfg *burst.Config, sch *fault.Schedule, audit bool) *ckptRun {
-	cfg := cluster.DefaultConfig()
+	cfg := baseConfig()
 	cfg.Seed = seed
 	cfg.Faults = sch
 	cfg.PFS.Replicas = replicas

@@ -76,10 +76,29 @@ func (r *Result) note(format string, args ...interface{}) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
 }
 
+// engineOverride is the storage engine every experiment cluster's data
+// servers use ("" = the extent default). Set once by SetEngine before the
+// suite starts (the worker pool reads it concurrently).
+var engineOverride string
+
+// SetEngine routes every subsequent experiment run through the named fs
+// storage engine; see fs.Engines for the choices. The engines experiment
+// overrides it per cell regardless.
+func SetEngine(name string) { engineOverride = name }
+
+// baseConfig is cluster.DefaultConfig plus the harness-wide overrides
+// (currently the storage-engine selection). Every experiment builds its
+// cluster from here so -engine reaches all of them.
+func baseConfig() cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.FS.Engine = engineOverride
+	return cfg
+}
+
 // paperCluster builds the paper's platform: 9 data servers (two-disk RAID,
 // CFQ), a metadata server, 8 compute nodes, GigE, PVFS2 with 64 KB stripes.
 func paperCluster(seed int64, trace bool) *cluster.Cluster {
-	cfg := cluster.DefaultConfig()
+	cfg := baseConfig()
 	cfg.Seed = seed
 	cfg.TraceServers = trace
 	return cluster.New(cfg)
@@ -122,7 +141,7 @@ func execute(seed int64, trace bool, maxTime time.Duration, ddCfg core.Config, s
 // timeouts plus the coarser CRM batch watchdog above them), so degraded
 // runs make progress instead of pinning on a straggler.
 func executeFaults(seed int64, maxTime time.Duration, ddCfg core.Config, sch *fault.Schedule, specs []runSpec) ([]measured, *cluster.Cluster) {
-	cfg := cluster.DefaultConfig()
+	cfg := baseConfig()
 	cfg.Seed = seed
 	cfg.Faults = sch
 	cfg.PFS.RequestTimeout = 250 * time.Millisecond

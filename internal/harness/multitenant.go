@@ -93,7 +93,7 @@ type mixOut struct {
 // Everything runs in simulation context, so the run is deterministic per
 // seed regardless of host parallelism.
 func runTenantMix(seed int64, tc tenant.Config, quick bool) *mixOut {
-	cfg := cluster.DefaultConfig()
+	cfg := baseConfig()
 	cfg.Seed = seed
 	cfg.Tenancy = &tc
 	cl := cluster.New(cfg)
